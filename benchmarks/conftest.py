@@ -1,0 +1,70 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper: it computes the
+same rows/series, prints them (run with ``-s`` to see), writes them under
+``benchmarks/results/`` and asserts the paper's qualitative shape.
+
+All heavyweight work (building the five workloads, compiling them under
+every strategy, pricing them on the V100 model) happens once per session
+in the fixtures below.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.analysis import ComparisonResult, compare_compilers
+from repro.compilers import (
+    TensorFlowCompiler,
+    TensorRTCompiler,
+    XLACompiler,
+)
+from repro.core import AStitchCompiler
+from repro.gpu.spec import V100
+from repro.workloads import WORKLOADS, build
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+INFERENCE_COMPILERS = ["TensorFlow", "XLA", "TensorRT", "AStitch"]
+TRAINING_COMPILERS = ["TensorFlow", "XLA", "AStitch"]
+
+
+def save_report(name: str, text: str) -> None:
+    """Persist a rendered table under benchmarks/results/ and print it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)
+
+
+def _compare(graph) -> ComparisonResult:
+    return compare_compilers(
+        graph,
+        [TensorFlowCompiler(), XLACompiler(), TensorRTCompiler(),
+         AStitchCompiler()],
+        spec=V100,
+    )
+
+
+@pytest.fixture(scope="session")
+def inference_results() -> dict[str, ComparisonResult]:
+    """Every workload's inference graph under every compiler."""
+    return {name: _compare(build(name)) for name in WORKLOADS}
+
+
+@pytest.fixture(scope="session")
+def training_results() -> dict[str, ComparisonResult]:
+    """Training graphs (BERT / Transformer / DIEN) under TF/XLA/AStitch.
+
+    TensorRT rejects training graphs and is skipped automatically,
+    matching Fig 11b.
+    """
+    names = [n for n, spec in WORKLOADS.items() if spec.training]
+    return {name: _compare(build(name, training=True)) for name in names}
+
+
+@pytest.fixture(scope="session")
+def inference_graphs():
+    return {name: build(name) for name in WORKLOADS}

@@ -1,0 +1,50 @@
+"""Extension: does the advantage grow on newer devices?
+
+Fig 1's motivation: A100's compute/bandwidth ratio is ~5.6x V100's, so
+the memory-intensive share of execution time *rises* across GPU
+generations — which should make stitching more valuable, not less.
+This bench replays the end-to-end comparison on the A100 model and
+checks the trend.
+"""
+
+from benchmarks.conftest import save_report
+from repro.analysis import compare_compilers, geomean, render_table
+from repro.compilers import TensorFlowCompiler, XLACompiler
+from repro.core import AStitchCompiler
+from repro.gpu.spec import A100, V100
+from repro.workloads import WORKLOADS, build
+
+
+def _per_device():
+    compilers = [TensorFlowCompiler(), XLACompiler(), AStitchCompiler()]
+    out = {}
+    for spec in (V100, A100):
+        gains = {}
+        for name in WORKLOADS:
+            result = compare_compilers(build(name), compilers, spec=spec)
+            gains[name] = result.speedup("AStitch", versus="XLA")
+        out[spec.name] = gains
+    return out
+
+
+def test_extra_a100_trend(benchmark):
+    data = benchmark.pedantic(_per_device, rounds=1, iterations=1)
+    rows = []
+    for name in WORKLOADS:
+        rows.append([name,
+                     f"{data['V100'][name]:.2f}x",
+                     f"{data['A100'][name]:.2f}x"])
+    v100_geo = geomean(data["V100"].values())
+    a100_geo = geomean(data["A100"].values())
+    rows.append(["geomean", f"{v100_geo:.2f}x", f"{a100_geo:.2f}x"])
+    save_report("extra_a100_trend", render_table(
+        ["model", "AStitch/XLA on V100", "AStitch/XLA on A100"], rows,
+        title="Device-generation trend (Fig 1's motivation): the "
+              "memory-intensive share rises on A100, so stitching's "
+              "advantage holds or grows"))
+
+    # The advantage never collapses on the newer device, and on average
+    # holds or grows (the paper's 'increasingly crucial' claim).
+    for name in WORKLOADS:
+        assert data["A100"][name] > 1.0, name
+    assert a100_geo > v100_geo * 0.9

@@ -1,0 +1,56 @@
+"""Extension study: AStitch vs its predecessor FusionStitching ([57]).
+
+Sec 7 of the paper: "Zheng et al. explore operator stitching with shared
+memory ... AStitch enlarges the optimization space with the global
+scheme stitching, and avoids expensive cost-model based searching thanks
+to the adaptive thread mapping."  This bench quantifies the first claim
+across the production workloads: shared-memory-only stitching must
+shatter every scope whose values need device-wide visibility.
+"""
+
+from benchmarks.conftest import save_report
+from repro.analysis import geomean, render_table
+from repro.compilers import FusionStitchingCompiler
+from repro.core import AStitchCompiler
+from repro.runtime import Engine
+from repro.workloads import WORKLOADS, build
+
+
+def _study():
+    engine = Engine()
+    out = {}
+    for name in WORKLOADS:
+        graph = build(name)
+        fs = engine.run(FusionStitchingCompiler().compile(graph))
+        astitch = engine.run(AStitchCompiler().compile(graph))
+        out[name] = (fs, astitch)
+    return out
+
+
+def test_extra_fusionstitching_comparison(benchmark):
+    data = benchmark.pedantic(_study, rounds=1, iterations=1)
+    rows = []
+    gains = []
+    for name, (fs, astitch) in data.items():
+        gain = fs.total_time / astitch.total_time
+        gains.append(gain)
+        rows.append([
+            name,
+            fs.mem_kernel_count, astitch.mem_kernel_count,
+            f"{fs.total_time*1e3:.2f}", f"{astitch.total_time*1e3:.2f}",
+            f"{gain:.2f}x",
+        ])
+    rows.append(["geomean", "-", "-", "-", "-",
+                 f"{geomean(gains):.2f}x"])
+    save_report("extra_fusionstitching", render_table(
+        ["model", "FS kernels", "AStitch kernels", "FS (ms)",
+         "AStitch (ms)", "global-scheme gain"], rows,
+        title="AStitch vs FusionStitching (shared-memory-only "
+              "stitching): what the global scheme adds"))
+
+    # The global scheme never loses and never forms more kernels.
+    for name, (fs, astitch) in data.items():
+        assert astitch.mem_kernel_count <= fs.mem_kernel_count, name
+        assert astitch.total_time <= fs.total_time * 1.02, name
+    # And it wins somewhere (the split/column-reduce-heavy workloads).
+    assert max(gains) > 1.02

@@ -1,0 +1,70 @@
+"""Extension study: what would multi-stream execution buy?
+
+The paper's Sec 6.1.2 states it does not explore multi-stream execution;
+its (and our) iteration time is the serial sum.  This extension
+schedules each compiled module over 1/2/4 CUDA streams with a
+dependency-respecting list scheduler and asks how much concurrency could
+recover — and whether stitching changes the answer.
+
+Expected shape: XLA's many small independent kernels (q/k/v projections,
+parallel branches) benefit from streams; AStitch has already *merged*
+that parallelism into wide stitched kernels, so its remaining gain is
+smaller — stitching and multi-streaming harvest the same parallelism,
+one inside kernels, one across them.
+"""
+
+from benchmarks.conftest import save_report
+from repro.analysis import render_table
+from repro.compilers import XLACompiler
+from repro.core import AStitchCompiler
+from repro.runtime.timeline import schedule
+from repro.workloads import build
+
+
+def _study(model="BERT"):
+    graph = build(model)
+    out = {}
+    for compiler in (XLACompiler(), AStitchCompiler()):
+        module = compiler.compile(graph)
+        base = schedule(module, num_streams=1,
+                        bandwidth_sharing=False).makespan
+        rows = {}
+        for streams in (1, 2, 4):
+            result = schedule(module, num_streams=streams,
+                              bandwidth_sharing=False)
+            rows[streams] = base / result.makespan
+        out[compiler.name] = rows
+    return out
+
+
+def test_extra_multistream_study(benchmark):
+    data = benchmark.pedantic(_study, rounds=1, iterations=1)
+    rows = []
+    for name, gains in data.items():
+        rows.append([name] + [f"{gains[s]:.2f}x" for s in (1, 2, 4)])
+    save_report("extra_multistream", render_table(
+        ["compiler", "1 stream", "2 streams", "4 streams"], rows,
+        title="Extension: idealized multi-stream speedup on BERT "
+              "(no bandwidth sharing; the paper and the main engine "
+              "are single-stream)"))
+
+    xla, astitch = data["XLA"], data["AStitch"]
+    # Streams never hurt in the idealized model...
+    assert xla[4] >= xla[1] - 1e-9
+    assert astitch[4] >= astitch[1] - 1e-9
+    # ...and stitching leaves less cross-kernel parallelism to harvest.
+    assert astitch[4] <= xla[4] + 0.05
+
+
+def test_extra_multistream_bandwidth_sharing_caps_gain(benchmark):
+    def run():
+        graph = build("BERT")
+        module = XLACompiler().compile(graph)
+        free = schedule(module, num_streams=4,
+                        bandwidth_sharing=False).makespan
+        shared = schedule(module, num_streams=4,
+                          bandwidth_sharing=True).makespan
+        return free, shared
+
+    free, shared = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert shared >= free

@@ -1,0 +1,45 @@
+"""Extension: the retained simplification pipeline before stitching.
+
+Sec 5: AStitch "retains all the optimizations of XLA except fusion
+strategies and code generation".  This bench runs the retained layer
+(DCE / CSE / constant folding / algebraic rules) ahead of every
+compiler on the workloads and checks it never hurts — and that the
+workload generators don't secretly rely on dead or duplicate work.
+"""
+
+from benchmarks.conftest import save_report
+from repro.analysis import render_table
+from repro.core import AStitchCompiler
+from repro.ir.passes import optimize
+from repro.runtime import Engine
+from repro.workloads import WORKLOADS, build
+
+
+def _study():
+    engine = Engine()
+    out = {}
+    for name in WORKLOADS:
+        graph = build(name)
+        optimized, report = optimize(graph)
+        plain = engine.run(AStitchCompiler().compile(graph))
+        tuned = engine.run(AStitchCompiler().compile(optimized))
+        out[name] = (len(graph), len(optimized), report.total_changes,
+                     plain.total_time, tuned.total_time)
+    return out
+
+
+def test_extra_optimize_pipeline(benchmark):
+    data = benchmark.pedantic(_study, rounds=1, iterations=1)
+    rows = []
+    for name, (before, after, changes, t_plain, t_tuned) in data.items():
+        rows.append([name, before, after, changes,
+                     f"{t_plain*1e3:.2f}", f"{t_tuned*1e3:.2f}"])
+    save_report("extra_optimize_pipeline", render_table(
+        ["model", "nodes", "after passes", "rewrites",
+         "AStitch (ms)", "AStitch+passes (ms)"], rows,
+        title="Retained XLA-style simplifications before stitching "
+              "(Sec 5)"))
+
+    for name, (before, after, changes, t_plain, t_tuned) in data.items():
+        assert after <= before, name
+        assert t_tuned <= t_plain * 1.05, name

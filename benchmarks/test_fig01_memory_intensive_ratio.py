@@ -1,0 +1,73 @@
+"""Figure 1: ratio of memory-intensive computation under TensorFlow.
+
+The paper reports, per model, the share of memory-intensive ops in (a)
+GPU execution time and (b) kernel count, measured on TF v1.15 — averages
+of 63.2% (time, V100) and 89.6% (count), rising to 76.7% (time) on A100
+because A100's compute/bandwidth ratio is ~5.6x higher.
+"""
+
+import pytest
+
+from benchmarks.conftest import save_report
+from repro.analysis import render_table
+from repro.compilers import TensorFlowCompiler
+from repro.gpu.spec import A100, V100
+from repro.runtime import Engine
+from repro.workloads import WORKLOADS, build
+
+
+def _ratios(spec):
+    rows = {}
+    for name in WORKLOADS:
+        graph = build(name)
+        module = TensorFlowCompiler().compile(graph, spec)
+        profile = Engine(spec).run(module)
+        kernel_time = profile.mem_time + profile.compute_time
+        rows[name] = {
+            "time_ratio": profile.mem_time / kernel_time,
+            "count_ratio": profile.mem_kernel_count / (
+                profile.mem_kernel_count + profile.compute_kernel_count),
+        }
+    return rows
+
+
+@pytest.fixture(scope="module")
+def fig1():
+    return {"V100": _ratios(V100), "A100": _ratios(A100)}
+
+
+def test_fig01_ratios(benchmark, fig1):
+    data = benchmark.pedantic(lambda: fig1, rounds=1, iterations=1)
+    v100, a100 = data["V100"], data["A100"]
+    rows = [
+        [name,
+         f"{v100[name]['time_ratio']:.1%}",
+         f"{v100[name]['count_ratio']:.1%}",
+         f"{a100[name]['time_ratio']:.1%}"]
+        for name in v100
+    ]
+    avg_time = sum(r["time_ratio"] for r in v100.values()) / len(v100)
+    avg_count = sum(r["count_ratio"] for r in v100.values()) / len(v100)
+    avg_a100 = sum(r["time_ratio"] for r in a100.values()) / len(a100)
+    rows.append(["average", f"{avg_time:.1%}", f"{avg_count:.1%}",
+                 f"{avg_a100:.1%}"])
+    save_report("fig01_memory_intensive_ratio", render_table(
+        ["model", "time% (V100)", "kernels% (V100)", "time% (A100)"],
+        rows,
+        title="Fig 1: memory-intensive share under TensorFlow "
+              "(paper: 63.2% time / 89.6% kernels on V100; 76.7% on "
+              "A100)"))
+
+    # Shape: memory-intensive computation dominates kernel counts for
+    # every model and execution time on average.
+    assert all(r["count_ratio"] > 0.75 for r in v100.values())
+    assert avg_time > 0.5
+    assert avg_count > 0.85
+
+
+def test_fig01_a100_ratio_rises(benchmark, fig1):
+    data = benchmark.pedantic(lambda: fig1, rounds=1, iterations=1)
+    v100_avg = sum(r["time_ratio"] for r in data["V100"].values()) / 5
+    a100_avg = sum(r["time_ratio"] for r in data["A100"].values()) / 5
+    # The paper: 63.2% -> 76.7% moving to A100 (TF32 default).
+    assert a100_avg > v100_avg

@@ -1,0 +1,50 @@
+"""Figure 7: kernel formation for one memory-intensive subgraph.
+
+Paper: for the Fig 7(a) subgraph, XLA forms 4 kernels (ending at
+reduce.1, power.1, reduce.2 and multiply.1), TVM forms 3 (power.1 merged
+into reduce.2's kernel, redundantly), and AStitch forms exactly 1 with
+hierarchical data reuse.
+"""
+
+from benchmarks.conftest import save_report
+from repro.analysis import render_table
+from repro.compilers import TensorFlowCompiler, TVMCompiler, XLACompiler
+from repro.core import AStitchCompiler
+from repro.runtime import Engine
+from repro.workloads import micro
+
+
+def _formation():
+    graph = micro.fig7_subgraph(rows=1024, cols=512)
+    engine = Engine()
+    out = {}
+    for compiler in (TensorFlowCompiler(), XLACompiler(), TVMCompiler(),
+                     AStitchCompiler()):
+        module = compiler.compile(graph)
+        profile = engine.run(module)
+        out[compiler.name] = (len(module.kernels()), profile.mem_time)
+    return out
+
+
+def test_fig07_kernel_formation(benchmark):
+    data = benchmark.pedantic(_formation, rounds=1, iterations=1)
+    rows = [[name, kernels, f"{t * 1e6:.1f}"]
+            for name, (kernels, t) in data.items()]
+    save_report("fig07_kernel_formation", render_table(
+        ["compiler", "kernels", "MEM time (us)"], rows,
+        title="Fig 7: kernels formed for the Fig 7(a) subgraph "
+              "(paper: XLA 4, TVM 3, AStitch 1)"))
+
+    assert data["AStitch"][0] == 1
+    assert data["TVM"][0] < data["XLA"][0]
+    assert data["XLA"][0] < data["TensorFlow"][0]
+    # Paper reports 4 (XLA) / 3 (TVM) for its exact subgraph; our
+    # variant carries one extra shared divide, adding one-two roots.
+    assert data["XLA"][0] in (4, 5, 6)
+    assert data["TVM"][0] in (3, 4)
+
+
+def test_fig07_astitch_fastest(benchmark):
+    data = benchmark.pedantic(_formation, rounds=1, iterations=1)
+    astitch_time = data["AStitch"][1]
+    assert all(astitch_time <= t for _, t in data.values())

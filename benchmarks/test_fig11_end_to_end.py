@@ -1,0 +1,93 @@
+"""Figure 11: end-to-end speedup, normalized to TensorFlow.
+
+Paper (V100): inference — AStitch up to 4.06x / avg 2.37x over TF, up to
+2.73x / avg 1.84x over XLA, up to 4.46x / avg 2.47x over TensorRT.
+Training — avg 1.34x over TF and 1.30x over XLA (XLA degrades on DIEN).
+"""
+
+from benchmarks.conftest import save_report
+from repro.analysis import geomean, render_table
+from repro.analysis.charts import grouped_bar_chart
+
+
+def test_fig11a_inference_speedup(benchmark, inference_results):
+    results = benchmark.pedantic(lambda: inference_results, rounds=1,
+                                 iterations=1)
+    rows = []
+    for name, result in results.items():
+        rows.append([
+            name,
+            "1.00",
+            f"{result.speedup('XLA'):.2f}",
+            f"{result.speedup('TensorRT'):.2f}",
+            f"{result.speedup('AStitch'):.2f}",
+        ])
+    vs_tf = [r.speedup("AStitch") for r in results.values()]
+    vs_xla = [r.speedup("AStitch", versus="XLA")
+              for r in results.values()]
+    vs_trt = [r.speedup("AStitch", versus="TensorRT")
+              for r in results.values()]
+    rows.append(["AStitch avg vs each",
+                 f"{geomean(vs_tf):.2f}", f"{geomean(vs_xla):.2f}",
+                 f"{geomean(vs_trt):.2f}", "-"])
+    chart = grouped_bar_chart(
+        {name: {"XLA": result.speedup("XLA"),
+                "TensorRT": result.speedup("TensorRT"),
+                "AStitch": result.speedup("AStitch")}
+         for name, result in results.items()},
+        unit="x")
+    save_report("fig11a_inference_speedup", render_table(
+        ["model", "TF", "XLA", "TensorRT", "AStitch"], rows,
+        title="Fig 11a: inference speedup over TensorFlow "
+              "(paper: AStitch avg 2.37x vs TF, 1.84x vs XLA, "
+              "2.47x vs TensorRT)") + "\n\n" + chart)
+
+    # Shape: AStitch wins on every workload against every baseline.
+    for result in results.values():
+        assert result.speedup("AStitch") > 1.0
+        assert result.speedup("AStitch", versus="XLA") > 1.0
+        assert result.speedup("AStitch", versus="TensorRT") > 1.0
+    # Magnitude: the average XLA gap lands in the paper's band.
+    assert 1.3 < geomean(vs_xla) < 2.6
+    assert max(vs_xla) > 1.8
+
+
+def test_fig11b_training_speedup(benchmark, training_results):
+    results = benchmark.pedantic(lambda: training_results, rounds=1,
+                                 iterations=1)
+    rows = []
+    for name, result in results.items():
+        assert "TensorRT" not in result.profiles  # no training support
+        rows.append([
+            name, "1.00",
+            f"{result.speedup('XLA'):.2f}",
+            f"{result.speedup('AStitch'):.2f}",
+        ])
+    vs_xla = [r.speedup("AStitch", versus="XLA")
+              for r in results.values()]
+    save_report("fig11b_training_speedup", render_table(
+        ["model", "TF", "XLA", "AStitch"], rows,
+        title="Fig 11b: training speedup over TensorFlow "
+              "(paper: AStitch avg 1.34x vs TF, 1.30x vs XLA)"))
+
+    for result in results.values():
+        assert result.speedup("AStitch") > 1.0
+        assert result.speedup("AStitch", versus="XLA") > 1.0
+
+
+def test_fig11_training_gains_smaller_than_inference(
+        benchmark, inference_results, training_results):
+    """Sec 6.1.1: training has a lower memory-intensive share, so the
+    speedups are smaller than inference for the same models."""
+    def gap():
+        infer = geomean([
+            inference_results[n].speedup("AStitch", versus="XLA")
+            for n in training_results])
+        train = geomean([
+            training_results[n].speedup("AStitch", versus="XLA")
+            for n in training_results])
+        return infer, train
+
+    infer, train = benchmark.pedantic(gap, rounds=1, iterations=1)
+    # Allow a small tolerance: the direction matters, not the gap size.
+    assert train <= infer * 1.05

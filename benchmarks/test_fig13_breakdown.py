@@ -1,0 +1,48 @@
+"""Figure 13: MEM / OVERHEAD breakdown, XLA normalized to 1.
+
+Paper: AStitch cuts both the memory-intensive kernel time (parallelism
+increment) and the non-computation overhead (kernel-call decrement); for
+Transformer about 2/3 of OVERHEAD and 1/4 of MEM disappear.
+"""
+
+from benchmarks.conftest import save_report
+from repro.analysis import breakdown_vs_baseline, render_table
+
+
+def test_fig13_mem_overhead_breakdown(benchmark, inference_results):
+    results = benchmark.pedantic(lambda: inference_results, rounds=1,
+                                 iterations=1)
+    rows = []
+    for name, result in results.items():
+        slices = {s.compiler: s for s in breakdown_vs_baseline(
+            result.profiles, baseline="XLA")}
+        xla, astitch = slices["XLA"], slices["AStitch"]
+        rows.append([
+            name,
+            f"{xla.mem:.2f}", f"{xla.overhead:.2f}",
+            f"{astitch.mem:.2f}", f"{astitch.overhead:.2f}",
+            f"{astitch.total:.2f}",
+        ])
+        # Shape: AStitch reduces both slices on every workload.
+        assert astitch.mem < xla.mem
+        assert astitch.overhead < xla.overhead
+        assert xla.total == 1.0 or abs(xla.total - 1.0) < 1e-9
+    save_report("fig13_breakdown", render_table(
+        ["model", "XLA MEM", "XLA OVH", "AStitch MEM", "AStitch OVH",
+         "AStitch total"], rows,
+        title="Fig 13: MEM/OVERHEAD breakdown, XLA MEM+OVERHEAD "
+              "normalized to 1 (paper: AStitch saves ~2/3 OVERHEAD and "
+              "~1/4 MEM on Transformer)"))
+
+
+def test_fig13_transformer_overhead_savings(benchmark, inference_results):
+    results = benchmark.pedantic(lambda: inference_results, rounds=1,
+                                 iterations=1)
+    profiles = results["Transformer"].profiles
+    overhead_saved = 1 - (profiles["AStitch"].overhead_time
+                          / profiles["XLA"].overhead_time)
+    mem_saved = 1 - (profiles["AStitch"].mem_time
+                     / profiles["XLA"].mem_time)
+    # Paper: ~2/3 overhead and ~1/4 MEM saved; accept a broad band.
+    assert overhead_saved > 0.3
+    assert mem_saved > 0.15

@@ -1,0 +1,96 @@
+"""Figures 15 & 16: per-kernel occupancy / SM-efficiency trends.
+
+Paper: ordering memory-intensive kernels by descending execution time,
+AStitch's top kernels show higher ``achieved_occupancy`` and
+``sm_efficiency`` than XLA's (Fig 15, CRNN) and than Ansor's (Fig 16,
+BERT) — and AStitch has far fewer kernels on the axis.
+"""
+
+from benchmarks.conftest import save_report
+from repro.analysis import render_table
+from repro.compilers import AnsorCompiler
+from repro.core import AStitchCompiler
+from repro.runtime import Engine
+from repro.workloads import build
+
+
+def _trend(profile, top_n=10):
+    counters = sorted(profile.mem_counters(), key=lambda c: -c.duration)
+    return counters[:top_n]
+
+
+def _weighted(counters, attr):
+    total = sum(c.duration for c in counters)
+    return sum(getattr(c, attr) * c.duration for c in counters) / total
+
+
+def test_fig15_crnn_trend(benchmark, inference_results):
+    result = benchmark.pedantic(lambda: inference_results["CRNN"],
+                                rounds=1, iterations=1)
+    xla = _trend(result.profiles["XLA"])
+    astitch = _trend(result.profiles["AStitch"])
+    rows = []
+    for i in range(max(len(xla), len(astitch))):
+        row = [i + 1]
+        for series in (xla, astitch):
+            if i < len(series):
+                row += [f"{series[i].achieved_occupancy:.2f}",
+                        f"{series[i].sm_efficiency:.2f}"]
+            else:
+                row += ["-", "-"]
+        rows.append(row)
+    from repro.analysis.charts import series_chart
+    charts = "\n\n".join([
+        series_chart([c.achieved_occupancy for c in xla], height=6,
+                     title="XLA occupancy by kernel rank"),
+        series_chart([c.achieved_occupancy for c in astitch], height=6,
+                     title="AStitch occupancy by kernel rank"),
+    ])
+    save_report("fig15_crnn_trend", render_table(
+        ["rank", "XLA occ", "XLA eff", "AStitch occ", "AStitch eff"],
+        rows,
+        title="Fig 15: CRNN top kernels by time (paper: AStitch "
+              "higher occupancy/efficiency, fewer kernels)")
+        + "\n\n" + charts)
+
+    # Time-weighted over the top kernels, AStitch is more parallel.
+    assert (_weighted(astitch, "achieved_occupancy")
+            > _weighted(xla, "achieved_occupancy"))
+    assert (_weighted(astitch, "sm_efficiency")
+            >= _weighted(xla, "sm_efficiency") * 0.95)
+    # And the kernel axis is much shorter overall.
+    assert (result.profiles["AStitch"].mem_kernel_count
+            < result.profiles["XLA"].mem_kernel_count / 3)
+
+
+def test_fig16_bert_trend_vs_ansor(benchmark):
+    def compute():
+        graph = build("BERT")
+        engine = Engine()
+        return {
+            "Ansor": engine.run(AnsorCompiler().compile(graph)),
+            "AStitch": engine.run(AStitchCompiler().compile(graph)),
+        }
+
+    profiles = benchmark.pedantic(compute, rounds=1, iterations=1)
+    ansor = _trend(profiles["Ansor"])
+    astitch = _trend(profiles["AStitch"])
+    rows = []
+    for i in range(max(len(ansor), len(astitch))):
+        row = [i + 1]
+        for series in (ansor, astitch):
+            if i < len(series):
+                row += [f"{series[i].achieved_occupancy:.2f}",
+                        f"{series[i].sm_efficiency:.2f}"]
+            else:
+                row += ["-", "-"]
+        rows.append(row)
+    save_report("fig16_bert_trend", render_table(
+        ["rank", "Ansor occ", "Ansor eff", "AStitch occ",
+         "AStitch eff"], rows,
+        title="Fig 16: BERT top kernels by time, Ansor vs AStitch"))
+
+    assert (_weighted(astitch, "achieved_occupancy")
+            >= _weighted(ansor, "achieved_occupancy") * 0.95)
+    assert (profiles["AStitch"].mem_kernel_count
+            < profiles["Ansor"].mem_kernel_count)

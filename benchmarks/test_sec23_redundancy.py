@@ -1,0 +1,64 @@
+"""Sec 2.3.1 / Fig 5: the fuse-or-skip dilemma on one-to-many patterns.
+
+TVM fuses ``power<2> -> broadcast<2,128> -> add`` by per-element inlining
+and recomputes the power 128 times per element; XLA skips the fusion and
+pays an extra kernel; AStitch stitches with shared-memory reuse — one
+kernel, no redundancy.
+"""
+
+from benchmarks.conftest import save_report
+from repro.analysis import render_table
+from repro.codegen.builder import kernel_cost_inputs
+from repro.compilers import TVMCompiler, XLACompiler
+from repro.core import AStitchCompiler
+from repro.workloads import micro
+
+
+def _stats(rows=4096, cols=128):
+    graph = micro.power_broadcast_add(rows, cols)
+    out = {}
+    for compiler in (XLACompiler(), TVMCompiler(), AStitchCompiler()):
+        module = compiler.compile(graph)
+        fp = sum(kernel_cost_inputs(k).fp_instructions
+                 for k in module.kernels())
+        out[compiler.name] = (len(module.kernels()), fp)
+    return out
+
+
+def test_sec23_tvm_redundant_computation(benchmark):
+    data = benchmark.pedantic(_stats, rounds=1, iterations=1)
+    rows = [[name, kernels, f"{fp:,.0f}"]
+            for name, (kernels, fp) in data.items()]
+    save_report("sec23_redundancy", render_table(
+        ["compiler", "kernels", "fp instructions"], rows,
+        title="Fig 5 pattern power->broadcast->add: "
+              "fuse (TVM, redundant) vs skip (XLA, extra kernel) vs "
+              "stitch (AStitch)"))
+
+    xla_kernels, xla_fp = data["XLA"]
+    tvm_kernels, tvm_fp = data["TVM"]
+    astitch_kernels, astitch_fp = data["AStitch"]
+    # The dilemma: TVM fuses (fewer kernels, far more instructions);
+    # XLA skips (more kernels, no redundancy).
+    assert tvm_kernels < xla_kernels
+    assert tvm_fp > 10 * xla_fp
+    # AStitch escapes it: fewest kernels AND no redundant instructions.
+    assert astitch_kernels == 1
+    assert astitch_fp <= xla_fp * 1.01
+
+
+def test_sec23_redundancy_scales_with_broadcast_width(benchmark):
+    def ratios():
+        out = []
+        for cols in (32, 128, 512):
+            data = _stats(rows=1024, cols=cols)
+            out.append((cols, data["TVM"][1] / data["AStitch"][1]))
+        return out
+
+    scaling = benchmark.pedantic(ratios, rounds=1, iterations=1)
+    # The recompute factor grows with the broadcast amplification and
+    # saturates near the heavy op's cost share (power is ~32x an add).
+    factors = [f for _, f in scaling]
+    assert factors == sorted(factors)
+    assert factors[-1] > factors[0] * 1.5
+    assert factors[0] > 5.0

@@ -1,0 +1,69 @@
+"""Sec 6.3: production-cluster evaluation.
+
+Paper: AStitch deployed on a thousands-of-GPUs cluster saved ~20,000 GPU
+hours across ~70,000 tasks in a week; ~23% of jobs are distributed and
+consume 56% of the total GPU time.  The estimation method multiplies the
+per-iteration time saved (logged after the first iterations) by the
+iteration count.
+
+This bench applies the same estimation to a synthetic weekly task mix of
+the job families the paper names, using *this reproduction's* measured
+per-model AStitch-over-TensorFlow speedups.
+"""
+
+from benchmarks.conftest import save_report
+from repro.analysis import render_table
+from repro.analysis.cluster import (
+    FAMILY_WORKLOADS,
+    estimate_savings,
+    sample_week,
+)
+
+
+def test_sec63_weekly_savings(benchmark, inference_results):
+    def run():
+        speedups = {
+            workload: inference_results[workload].speedup("AStitch")
+            for workload in FAMILY_WORKLOADS.values()
+        }
+        tasks = sample_week(num_tasks=70_000, seed=42)
+        return speedups, estimate_savings(tasks, speedups)
+
+    speedups, estimate = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        ["tasks / week", f"{estimate.tasks:,}", "70,000"],
+        ["distributed jobs",
+         f"{estimate.distributed_share_tasks:.0%}", "23%"],
+        ["GPU time in distributed jobs",
+         f"{estimate.distributed_share_time:.0%}", "56%"],
+        ["baseline GPU hours / week",
+         f"{estimate.baseline_gpu_hours:,.0f}", "(not reported)"],
+        ["saved GPU hours / week",
+         f"{estimate.saved_gpu_hours:,.0f}", "~20,000"],
+        ["saved fraction", f"{estimate.saved_fraction:.0%}", "-"],
+    ]
+    save_report("sec63_production_cluster", render_table(
+        ["metric", "model", "paper"], rows,
+        title="Sec 6.3: weekly cluster savings estimation "
+              f"(per-model speedups: "
+              f"{', '.join(f'{k} {v:.1f}x' for k, v in speedups.items())})"))
+
+    # Shape: the job-mix invariants match the paper, and the savings are
+    # in the paper's order of magnitude (thousands to tens of thousands
+    # of GPU hours for a 70k-task week).
+    assert abs(estimate.distributed_share_tasks - 0.23) < 0.02
+    assert 0.40 < estimate.distributed_share_time < 0.70
+    assert 5_000 < estimate.saved_gpu_hours < 80_000
+    assert estimate.saved_gpu_hours < estimate.baseline_gpu_hours
+
+
+def test_sec63_savings_monotone_in_speedup(benchmark):
+    def run():
+        tasks = sample_week(num_tasks=5_000, seed=3)
+        base = {w: 1.5 for w in FAMILY_WORKLOADS.values()}
+        boosted = {w: 3.0 for w in FAMILY_WORKLOADS.values()}
+        return (estimate_savings(tasks, base).saved_gpu_hours,
+                estimate_savings(tasks, boosted).saved_gpu_hours)
+
+    low, high = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert high > low

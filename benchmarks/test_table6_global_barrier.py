@@ -1,0 +1,62 @@
+"""Table 6: overhead of the inlined global barrier.
+
+Paper (V100, block size 1024): a barrier-only kernel costs 2.53 us at 20
+blocks rising to 2.72 us at 160 blocks (the per-wave cap), always below
+the ~10 us kernel-launch overhead it replaces.  Removing the barrier
+from CRNN shows no measurable end-to-end gain — the barrier is not a
+bottleneck.
+"""
+
+import pytest
+
+from benchmarks.conftest import save_report
+from repro.analysis import render_table
+from repro.gpu.barrier import global_barrier_latency
+from repro.gpu.spec import V100
+
+PAPER_US = {20: 2.53, 40: 2.53, 60: 2.59, 80: 2.59,
+            100: 2.66, 120: 2.66, 140: 2.69, 160: 2.72}
+
+
+def test_table6_barrier_latency(benchmark):
+    blocks = list(PAPER_US)
+    times = benchmark.pedantic(
+        lambda: {b: global_barrier_latency(V100, b) for b in blocks},
+        rounds=1, iterations=1)
+    rows = [[b, f"{times[b]*1e6:.2f}", f"{PAPER_US[b]:.2f}"]
+            for b in blocks]
+    save_report("table6_global_barrier", render_table(
+        ["#blocks", "time (us, model)", "time (us, paper)"], rows,
+        title="Table 6: inlined global-barrier overhead on V100"))
+
+    for b in blocks:
+        assert times[b] * 1e6 == pytest.approx(PAPER_US[b], abs=0.06)
+    # Grows slowly and stays under the launch overhead it replaces.
+    assert times[160] < times[20] * 1.15
+    assert times[160] < V100.kernel_launch_latency
+
+
+def test_table6_v100_wave_capacity(benchmark):
+    wave = benchmark.pedantic(lambda: V100.blocks_per_wave(1024),
+                              rounds=1, iterations=1)
+    # "A V100 GPU can accommodate at most 160 such thread blocks."
+    assert wave == 160
+
+
+def test_table6_barrier_not_crnn_bottleneck(benchmark):
+    """Sec 6.4.2: barriers contribute a negligible share of CRNN time."""
+    from repro.core import AStitchCompiler
+    from repro.runtime import Engine
+    from repro.workloads import build
+
+    def barrier_share():
+        module = AStitchCompiler().compile(build("CRNN"))
+        profile = Engine().run(module)
+        barrier_time = sum(
+            k.num_global_barriers * global_barrier_latency(
+                V100, k.mapping.grid_size)
+            for k in module.kernels())
+        return barrier_time / profile.total_time
+
+    share = benchmark.pedantic(barrier_share, rounds=1, iterations=1)
+    assert share < 0.05

@@ -1,0 +1,61 @@
+"""Compare every compilation strategy on one production workload.
+
+Reproduces the per-model slice of Fig 11a / Fig 13 / Table 3 for a
+single workload: end-to-end time, MEM/compute/OVERHEAD breakdown,
+kernel and memcpy counts — across TensorFlow, XLA, TVM, TensorRT,
+Ansor and AStitch.
+
+Run:  python examples/compare_compilers.py [CRNN|ASR|BERT|Transformer|DIEN]
+"""
+
+import sys
+
+from repro import (
+    AnsorCompiler,
+    AStitchCompiler,
+    Engine,
+    TensorFlowCompiler,
+    TensorRTCompiler,
+    TVMCompiler,
+    XLACompiler,
+    render_table,
+)
+from repro.workloads import WORKLOADS, build
+
+
+def main(workload: str = "CRNN"):
+    if workload not in WORKLOADS:
+        raise SystemExit(f"unknown workload {workload!r}; choose from "
+                         f"{', '.join(WORKLOADS)}")
+    graph = build(workload)
+    print(f"{workload}: {graph.stats()}")
+
+    engine = Engine()
+    compilers = [TensorFlowCompiler(), XLACompiler(), TVMCompiler(),
+                 TensorRTCompiler(), AnsorCompiler(), AStitchCompiler()]
+    rows = []
+    baseline_time = None
+    for compiler in compilers:
+        module = compiler.compile(graph)
+        profile = engine.run(module)
+        if baseline_time is None:
+            baseline_time = profile.total_time
+        rows.append([
+            compiler.name,
+            f"{profile.total_time * 1e3:.2f}",
+            f"{baseline_time / profile.total_time:.2f}x",
+            f"{profile.mem_time * 1e3:.2f}",
+            f"{profile.compute_time * 1e3:.2f}",
+            f"{profile.overhead_time * 1e3:.2f}",
+            profile.mem_kernel_count,
+            profile.memcpy_count,
+        ])
+    print()
+    print(render_table(
+        ["compiler", "total (ms)", "vs TF", "MEM (ms)", "compute (ms)",
+         "overhead (ms)", "MEM kernels", "memcpys"], rows,
+        title=f"{workload} inference on a model V100"))
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "CRNN")

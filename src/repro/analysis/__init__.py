@@ -1,0 +1,41 @@
+"""Result analysis and report formatting for the benchmark harness."""
+
+from repro.analysis.speedup import ComparisonResult, compare_compilers, geomean
+from repro.analysis.breakdown import Breakdown, breakdown_vs_baseline
+from repro.analysis.tables import render_table
+from repro.analysis.footprint import FootprintReport, measure_footprint
+from repro.analysis.amortization import SystemCost, break_even_iterations
+from repro.analysis.graph_stats import GraphStats, compute_stats, render_stats
+from repro.analysis.profiler_report import gpu_summary, kernel_family
+from repro.analysis.charts import bar_chart, grouped_bar_chart, series_chart
+from repro.analysis.cluster import (
+    ClusterEstimate,
+    ClusterTask,
+    estimate_savings,
+    sample_week,
+)
+
+__all__ = [
+    "ComparisonResult",
+    "compare_compilers",
+    "geomean",
+    "Breakdown",
+    "breakdown_vs_baseline",
+    "render_table",
+    "ClusterEstimate",
+    "ClusterTask",
+    "estimate_savings",
+    "sample_week",
+    "FootprintReport",
+    "measure_footprint",
+    "gpu_summary",
+    "kernel_family",
+    "bar_chart",
+    "grouped_bar_chart",
+    "series_chart",
+    "SystemCost",
+    "break_even_iterations",
+    "GraphStats",
+    "compute_stats",
+    "render_stats",
+]

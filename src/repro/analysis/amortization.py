@@ -1,0 +1,49 @@
+"""JIT-cost amortization: when does compiling pay off?
+
+Sec 6.4.1: AStitch's ~90 s JIT overhead "is introduced only once for all
+following iterations" and "is still much more efficient than searching
+and tuning-based optimizations".  This module makes that quantitative:
+the total cost of serving N iterations is ``compile_seconds +
+N x iteration_seconds``, and two systems cross where their totals meet.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+
+@dataclasses.dataclass(frozen=True)
+class SystemCost:
+    """One system's cost profile.
+
+    Attributes:
+        name: System name.
+        compile_seconds: One-time JIT/tuning cost.
+        iteration_seconds: Steady-state cost per iteration.
+    """
+
+    name: str
+    compile_seconds: float
+    iteration_seconds: float
+
+    def total(self, iterations: int) -> float:
+        """Total seconds to compile once and run ``iterations`` times."""
+        return self.compile_seconds + iterations * self.iteration_seconds
+
+
+def break_even_iterations(slow_compile: SystemCost,
+                          fast_compile: SystemCost) -> float:
+    """Iterations at which the slower-to-compile system's total cost
+    drops below the faster-to-compile one's.
+
+    Returns ``inf`` when it never does (its iterations are not faster)
+    and ``0`` when it is cheaper from the start.
+    """
+    compile_gap = (slow_compile.compile_seconds
+                   - fast_compile.compile_seconds)
+    iter_gap = (fast_compile.iteration_seconds
+                - slow_compile.iteration_seconds)
+    if iter_gap <= 0:
+        return 0.0 if compile_gap <= 0 else math.inf
+    return max(0.0, compile_gap / iter_gap)

@@ -1,0 +1,93 @@
+"""ASCII charts for figure-style benchmark reports.
+
+The paper's results are figures; the bench harness renders text-mode
+equivalents so `pytest benchmarks/ -s` shows bar charts next to the
+tables (no plotting dependencies available offline).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+
+def bar_chart(data: Mapping[str, float], title: str = "",
+              width: int = 40, unit: str = "",
+              reference: float | None = None) -> str:
+    """Render a horizontal bar chart.
+
+    Args:
+        data: Label -> value (non-negative).
+        title: Optional heading.
+        width: Bar width in characters for the maximum value.
+        unit: Suffix printed after each value.
+        reference: Optional value marked with ``|`` on each bar row
+            (e.g. the baseline = 1.0 line of a speedup chart).
+    """
+    if not data:
+        raise ValueError("empty chart")
+    peak = max(data.values())
+    if peak <= 0:
+        peak = 1.0
+    label_width = max(len(label) for label in data)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, value in data.items():
+        bar_len = round(value / peak * width)
+        bar = "#" * bar_len
+        if reference is not None and 0 < reference <= peak:
+            ref_pos = round(reference / peak * width)
+            if ref_pos >= len(bar):
+                bar = bar + " " * (ref_pos - len(bar)) + "|"
+            else:
+                bar = bar[:ref_pos] + "|" + bar[ref_pos + 1:]
+        lines.append(f"{label.ljust(label_width)}  {bar}  "
+                     f"{value:.2f}{unit}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(groups: Mapping[str, Mapping[str, float]],
+                      title: str = "", width: int = 40,
+                      unit: str = "") -> str:
+    """Render grouped bars (one cluster per outer key).
+
+    Mirrors the paper's per-model figure layout: one cluster per model,
+    one bar per system.
+    """
+    if not groups:
+        raise ValueError("empty chart")
+    peak = max(value for series in groups.values()
+               for value in series.values())
+    if peak <= 0:
+        peak = 1.0
+    inner_labels = {label for series in groups.values()
+                    for label in series}
+    label_width = max(len(label) for label in inner_labels)
+    lines = []
+    if title:
+        lines.append(title)
+    for group, series in groups.items():
+        lines.append(f"{group}:")
+        for label, value in series.items():
+            bar = "#" * round(value / peak * width)
+            lines.append(f"  {label.ljust(label_width)}  {bar}  "
+                         f"{value:.2f}{unit}")
+    return "\n".join(lines)
+
+
+def series_chart(values: Sequence[float], title: str = "",
+                 height: int = 8, width: int | None = None) -> str:
+    """Render a value-ordered series as a column chart (the Fig 15/16
+    trend plots)."""
+    if not values:
+        raise ValueError("empty chart")
+    width = width or len(values)
+    sampled = list(values)[:width]
+    peak = max(sampled) or 1.0
+    columns = [round(v / peak * height) for v in sampled]
+    lines = [title] if title else []
+    for level in range(height, 0, -1):
+        row = "".join("#" if c >= level else " " for c in columns)
+        lines.append(f"{peak * level / height:6.2f} |{row}")
+    lines.append(" " * 7 + "-" * len(sampled))
+    return "\n".join(lines)

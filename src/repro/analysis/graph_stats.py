@@ -1,0 +1,111 @@
+"""Graph census: the numbers Sec 2 of the paper quotes about models.
+
+For a workload graph this reports the statistics the paper uses to
+motivate the problem — operator histograms, the memory-intensive share,
+reduce/broadcast frequency ("the Transformer model contains 1,666
+reduce operators"), subgraph count and sizes, and the irregular-shape
+census (row-reduces whose rows/width ratio is extreme).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+
+from repro.analysis.tables import render_table
+from repro.ir.graph import Graph
+from repro.ir.ops import OpKind
+from repro.ir import patterns
+
+
+@dataclasses.dataclass
+class GraphStats:
+    """Census of one computation graph.
+
+    Attributes:
+        op_histogram: Operator kind -> count.
+        memory_intensive: Memory-intensive node count.
+        compute_intensive: Compute-intensive node count.
+        reduces: REDUCE count (row, column) breakdown included.
+        row_reduces: Row-reduce count.
+        broadcasts: BROADCAST count.
+        subgraphs: Memory-intensive subgraph count.
+        largest_subgraph: Ops in the largest subgraph.
+        irregular_reduces: Row-reduces with rows/width > 1000 or
+            width/rows > 100 (the Fig 6 pathology census).
+        one_to_many_sites: Nodes exhibiting the Sec 2.3.1 patterns.
+    """
+
+    op_histogram: dict[str, int]
+    memory_intensive: int
+    compute_intensive: int
+    reduces: int
+    row_reduces: int
+    broadcasts: int
+    subgraphs: int
+    largest_subgraph: int
+    irregular_reduces: int
+    one_to_many_sites: int
+
+
+def compute_stats(graph: Graph) -> GraphStats:
+    """Run the census."""
+    histogram: Counter = Counter()
+    reduces = row_reduces = broadcasts = irregular = patterns_count = 0
+    for node in graph.nodes:
+        histogram[node.kind.value] += 1
+        if node.kind is OpKind.REDUCE:
+            reduces += 1
+            if node.is_row_reduce():
+                row_reduces += 1
+                width = (node.operands[0].num_elements
+                         // max(1, node.num_elements))
+                rows = max(1, node.num_elements)
+                if rows / max(1, width) > 1000 or width / rows > 100:
+                    irregular += 1
+        if node.kind is OpKind.BROADCAST:
+            broadcasts += 1
+        if node.is_memory_intensive() \
+                and patterns.creates_one_to_many(graph, node):
+            patterns_count += 1
+
+    components = patterns.memory_intensive_components(graph)
+    return GraphStats(
+        op_histogram=dict(histogram),
+        memory_intensive=len(graph.memory_intensive_nodes()),
+        compute_intensive=len(graph.compute_intensive_nodes()),
+        reduces=reduces,
+        row_reduces=row_reduces,
+        broadcasts=broadcasts,
+        subgraphs=len(components),
+        largest_subgraph=max((len(c) for c in components), default=0),
+        irregular_reduces=irregular,
+        one_to_many_sites=patterns_count,
+    )
+
+
+def render_stats(graph: Graph, top_ops: int = 12) -> str:
+    """Human-readable census report."""
+    stats = compute_stats(graph)
+    mem_share = stats.memory_intensive / max(
+        1, stats.memory_intensive + stats.compute_intensive)
+    summary = render_table(
+        ["metric", "value"],
+        [["memory-intensive ops", stats.memory_intensive],
+         ["compute-intensive ops", stats.compute_intensive],
+         ["memory-intensive share", f"{mem_share:.1%}"],
+         ["reduce ops (row-reduces)",
+          f"{stats.reduces} ({stats.row_reduces})"],
+         ["broadcast ops", stats.broadcasts],
+         ["memory-intensive subgraphs", stats.subgraphs],
+         ["largest subgraph (ops)", stats.largest_subgraph],
+         ["irregular row-reduces (Fig 6-like)",
+          stats.irregular_reduces],
+         ["one-to-many fusion blockers (Sec 2.3.1)",
+          stats.one_to_many_sites]],
+        title=f"census: {graph.name}")
+    ordered = sorted(stats.op_histogram.items(), key=lambda kv: -kv[1])
+    histogram = render_table(
+        ["operator", "count"], ordered[:top_ops],
+        title=f"top operators ({len(stats.op_histogram)} kinds)")
+    return summary + "\n\n" + histogram

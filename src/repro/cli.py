@@ -1,0 +1,277 @@
+"""Command-line interface.
+
+    python -m repro list
+    python -m repro run CRNN [--compiler AStitch] [--device V100] [--train]
+    python -m repro compare DIEN [--device T4]
+    python -m repro dump-graph BERT [--full]
+    python -m repro dump-cuda softmax
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import render_table
+from repro.codegen.cuda_source import emit_module_source
+from repro.compilers import (
+    AnsorCompiler,
+    CudaGraphCompiler,
+    FusionStitchingCompiler,
+    TensorFlowCompiler,
+    TensorRTCompiler,
+    TVMCompiler,
+    XLACompiler,
+)
+from repro.core import AStitchCompiler
+from repro.gpu.spec import A100, T4, V100
+from repro.ir.printer import format_graph, format_summary
+from repro.runtime import Engine
+from repro.workloads import WORKLOADS, build, micro
+
+COMPILERS = {
+    "TensorFlow": TensorFlowCompiler,
+    "XLA": XLACompiler,
+    "TVM": TVMCompiler,
+    "TensorRT": TensorRTCompiler,
+    "Ansor": AnsorCompiler,
+    "CUDAGraph": CudaGraphCompiler,
+    "FusionStitching": FusionStitchingCompiler,
+    "AStitch": AStitchCompiler,
+}
+
+DEVICES = {"V100": V100, "T4": T4, "A100": A100}
+
+MICRO_GRAPHS = {
+    "softmax": lambda: micro.softmax_graph(1024, 256),
+    "fig5": lambda: micro.power_broadcast_add(4096, 128),
+    "fig7": lambda: micro.fig7_subgraph(1024, 512),
+    "column-chain": lambda: micro.column_reduce_chain(256, 8),
+}
+
+
+def _build_graph(name: str, training: bool):
+    if name in WORKLOADS:
+        return build(name, training=training)
+    if name in MICRO_GRAPHS:
+        return MICRO_GRAPHS[name]()
+    raise SystemExit(
+        f"unknown graph {name!r}; workloads: {', '.join(WORKLOADS)}; "
+        f"micro: {', '.join(MICRO_GRAPHS)}")
+
+
+def cmd_list(_args) -> int:
+    """List the registered workloads and micro graphs."""
+    rows = [[name, spec.field, "yes" if spec.training else "no"]
+            for name, spec in WORKLOADS.items()]
+    print(render_table(["workload", "field", "trainable"], rows,
+                       title="registered workloads (Table 2)"))
+    print("\nmicro graphs:", ", ".join(MICRO_GRAPHS))
+    return 0
+
+
+def cmd_run(args) -> int:
+    """Compile and price one graph under one compiler."""
+    graph = _build_graph(args.graph, args.train)
+    compiler = COMPILERS[args.compiler]()
+    spec = DEVICES[args.device]
+    module = compiler.compile(graph, spec)
+    profile = Engine(spec).run(module)
+    counters = profile.aggregate_mem_counters()
+    print(format_summary(graph))
+    if args.profile:
+        from repro.analysis.profiler_report import gpu_summary
+        print()
+        print(gpu_summary(profile))
+        print()
+    if args.explain:
+        from repro.codegen.builder import kernel_cost_inputs
+        from repro.gpu.costmodel import KernelCostModel
+        cost_model = KernelCostModel(spec)
+        kernels = sorted(module.kernels(), key=lambda k: -cost_model
+                         .price(kernel_cost_inputs(k)).duration)[:5]
+        rows = []
+        for kernel in kernels:
+            explain = cost_model.explain(kernel_cost_inputs(kernel))
+            rows.append([
+                kernel.name,
+                explain["bound_by"],
+                f"{explain['memory_time']*1e6:.1f}",
+                f"{explain['compute_time']*1e6:.1f}",
+                f"{explain['wave_floor']*1e6:.1f}",
+                f"{explain['barrier_time']*1e6:.1f}",
+                f"{explain['achieved_occupancy']:.2f}",
+            ])
+        print()
+        print(render_table(
+            ["kernel", "bound by", "mem (us)", "fp (us)",
+             "wave (us)", "barrier (us)", "occupancy"], rows,
+            title="cost-model breakdown, top kernels by time"))
+        print()
+    print(render_table(
+        ["metric", "value"],
+        [["total time (ms)", f"{profile.total_time*1e3:.3f}"],
+         ["MEM time (ms)", f"{profile.mem_time*1e3:.3f}"],
+         ["compute time (ms)", f"{profile.compute_time*1e3:.3f}"],
+         ["overhead (ms)", f"{profile.overhead_time*1e3:.3f}"],
+         ["MEM kernels", profile.mem_kernel_count],
+         ["memcpy calls", profile.memcpy_count],
+         ["achieved occupancy", f"{counters.achieved_occupancy:.2f}"],
+         ["sm efficiency", f"{counters.sm_efficiency:.2f}"],
+         ["modeled JIT seconds", f"{module.compile_seconds:.1f}"]],
+        title=f"{args.compiler} on {args.device}"))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    """Run every compiler on one graph and tabulate speedups."""
+    graph = _build_graph(args.graph, args.train)
+    spec = DEVICES[args.device]
+    engine = Engine(spec)
+    rows = []
+    baseline = None
+    for name, compiler_cls in COMPILERS.items():
+        try:
+            module = compiler_cls().compile(graph, spec)
+        except RuntimeError as error:
+            rows.append([name, "-", "-", "-", f"({error})"])
+            continue
+        profile = engine.run(module)
+        if baseline is None:
+            baseline = profile.total_time
+        rows.append([
+            name,
+            f"{profile.total_time*1e3:.3f}",
+            f"{baseline/profile.total_time:.2f}x",
+            profile.mem_kernel_count,
+            "",
+        ])
+    print(format_summary(graph))
+    print(render_table(
+        ["compiler", "total (ms)", "speedup", "MEM kernels", "note"],
+        rows, title=f"{args.graph} on {args.device}"))
+    return 0
+
+
+def cmd_dump_graph(args) -> int:
+    """Print the graph (summary, census or full HLO-style dump)."""
+    graph = _build_graph(args.graph, args.train)
+    if args.full:
+        print(format_graph(graph))
+    elif args.stats:
+        from repro.analysis.graph_stats import render_stats
+        print(render_stats(graph))
+    else:
+        print(format_summary(graph))
+    return 0
+
+
+def cmd_dump_cuda(args) -> int:
+    """Emit the prototype CUDA of every stitched kernel."""
+    graph = _build_graph(args.graph, args.train)
+    module = AStitchCompiler().compile(graph, DEVICES[args.device])
+    print(emit_module_source(module))
+    return 0
+
+
+def cmd_report(args) -> int:
+    """Run the headline comparison over every workload and write a
+    markdown summary (the quick version of the benchmark harness)."""
+    from repro.analysis import geomean
+
+    spec = DEVICES[args.device]
+    engine = Engine(spec)
+    systems = ["TensorFlow", "XLA", "TensorRT", "AStitch"]
+    lines = [f"# AStitch reproduction report ({args.device})", ""]
+    lines += ["| model | " + " | ".join(systems) + " | MEM kernels "
+              "(XLA→AStitch) |",
+              "|" + "---|" * (len(systems) + 2)]
+    vs_xla = []
+    for name in WORKLOADS:
+        graph = build(name)
+        profiles = {}
+        for system in systems:
+            module = COMPILERS[system]().compile(graph, spec)
+            profiles[system] = engine.run(module)
+        base = profiles["TensorFlow"].total_time
+        vs_xla.append(profiles["XLA"].total_time
+                      / profiles["AStitch"].total_time)
+        cells = [f"{base / profiles[s].total_time:.2f}x"
+                 for s in systems]
+        kernels = (f"{profiles['XLA'].mem_kernel_count}"
+                   f"→{profiles['AStitch'].mem_kernel_count}")
+        lines.append(f"| {name} | " + " | ".join(cells)
+                     + f" | {kernels} |")
+    lines += ["",
+              f"AStitch vs XLA geomean: **{geomean(vs_xla):.2f}x** "
+              f"(paper: 1.84x average, up to 2.73x)", ""]
+    report = "\n".join(lines)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(report + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(report)
+    return 0
+
+
+def make_parser() -> argparse.ArgumentParser:
+    """Build the argument parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="AStitch reproduction: compile, price and inspect "
+                    "memory-intensive ML workloads")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads").set_defaults(
+        func=cmd_list)
+
+    def add_common(p):
+        p.add_argument("graph", help="workload or micro graph name")
+        p.add_argument("--device", choices=DEVICES, default="V100")
+        p.add_argument("--train", action="store_true")
+
+    run = sub.add_parser("run", help="compile + price one graph")
+    add_common(run)
+    run.add_argument("--compiler", choices=COMPILERS, default="AStitch")
+    run.add_argument("--profile", action="store_true",
+                     help="print an nvprof-style GPU summary")
+    run.add_argument("--explain", action="store_true",
+                     help="cost-model breakdown of the top kernels")
+    run.set_defaults(func=cmd_run)
+
+    compare = sub.add_parser("compare",
+                             help="all compilers on one graph")
+    add_common(compare)
+    compare.set_defaults(func=cmd_compare)
+
+    dump = sub.add_parser("dump-graph", help="print the graph")
+    add_common(dump)
+    dump.add_argument("--full", action="store_true",
+                      help="full HLO-style dump, not just the summary")
+    dump.add_argument("--stats", action="store_true",
+                      help="operator census (the Sec 2 numbers)")
+    dump.set_defaults(func=cmd_dump_graph)
+
+    cuda = sub.add_parser("dump-cuda",
+                          help="emit prototype CUDA for AStitch kernels")
+    add_common(cuda)
+    cuda.set_defaults(func=cmd_dump_cuda)
+
+    report = sub.add_parser(
+        "report", help="headline comparison over all workloads")
+    report.add_argument("--device", choices=DEVICES, default="V100")
+    report.add_argument("--output", default="",
+                        help="write markdown here instead of stdout")
+    report.set_defaults(func=cmd_report)
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = make_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

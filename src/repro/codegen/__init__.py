@@ -1,0 +1,32 @@
+"""Kernel formation and (simulated) code generation.
+
+A *kernel* here is the unit both the cost model and the executor consume: a
+set of IR nodes, a thread-mapping schedule, per-node buffer placements and
+recompute factors.  Compilers differ only in how they carve graphs into
+kernels and which placements/redundancies their codegen strategy implies.
+"""
+
+from repro.codegen.schedule import MappingKind, ThreadMapping
+from repro.codegen import mapping
+from repro.codegen.kernel import Kernel, LibraryCall, MemcpyCall, Step
+from repro.codegen.builder import make_kernel, kernel_cost_inputs
+from repro.codegen.executor import ModuleExecutor
+from repro.codegen.cuda_source import emit_kernel_source, emit_module_source
+from repro.codegen.mapping_viz import render_comparison, render_mapping
+
+__all__ = [
+    "emit_kernel_source",
+    "emit_module_source",
+    "render_comparison",
+    "render_mapping",
+    "MappingKind",
+    "ThreadMapping",
+    "mapping",
+    "Kernel",
+    "LibraryCall",
+    "MemcpyCall",
+    "Step",
+    "make_kernel",
+    "kernel_cost_inputs",
+    "ModuleExecutor",
+]

@@ -1,0 +1,121 @@
+"""Functional execution of compiled modules.
+
+The executor runs a compiled module's steps with NumPy and enforces the
+dataflow discipline real kernels live under: a kernel may only read values
+it *declared* as inputs (and that an earlier step actually stored), and
+only its declared outputs become visible to later steps.  This catches
+partitioning bugs — a compiler that forgets to store a value another
+kernel needs fails here, exactly as it would return garbage on a GPU.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.codegen.kernel import Kernel, LibraryCall, MemcpyCall, Step
+from repro.ir.graph import Graph, Node
+from repro.ir.interpreter import evaluate_node, library_call
+from repro.ir.ops import OpKind
+
+
+class ExecutionError(RuntimeError):
+    """A step read a value that was never made visible to it."""
+
+
+class ModuleExecutor:
+    """Runs an ordered list of steps against a graph's parameters."""
+
+    def __init__(self, graph: Graph, steps: list[Step]):
+        self.graph = graph
+        self.steps = steps
+
+    def run(self, feeds: Mapping[str, np.ndarray]) -> dict[str, np.ndarray]:
+        """Execute the module.
+
+        Args:
+            feeds: Parameter name -> array, as for the interpreter.
+
+        Returns:
+            Graph-output name -> value.
+
+        Raises:
+            ExecutionError: On any dataflow violation (undeclared read,
+                missing producer, missing graph output).
+            KeyError: If a parameter feed is missing.
+        """
+        env: dict[Node, np.ndarray] = {}
+        for param in self.graph.parameters:
+            if param.name not in feeds:
+                raise KeyError(f"missing feed for parameter {param.name}")
+            env[param] = np.asarray(feeds[param.name],
+                                    dtype=param.dtype.to_numpy())
+
+        for step in self.steps:
+            if isinstance(step, Kernel):
+                self._run_kernel(step, env)
+            elif isinstance(step, LibraryCall):
+                self._run_library(step, env)
+            elif isinstance(step, MemcpyCall):
+                continue
+            else:
+                raise ExecutionError(f"unknown step type {type(step)}")
+
+        results = {}
+        for out in self.graph.outputs:
+            if out not in env:
+                raise ExecutionError(
+                    f"graph output {out.name} was never stored by any step")
+            results[out.name] = env[out]
+        return results
+
+    def _operand_value(self, operand: Node, local: dict[Node, np.ndarray],
+                       env: dict[Node, np.ndarray], input_set: set[Node],
+                       kernel_name: str) -> np.ndarray:
+        if operand in local:
+            return local[operand]
+        if operand in input_set:
+            if operand not in env:
+                raise ExecutionError(
+                    f"kernel {kernel_name} reads {operand.name} before any "
+                    f"step stored it")
+            return env[operand]
+        if operand.kind is OpKind.CONSTANT:
+            return evaluate_node(operand, [])
+        raise ExecutionError(
+            f"kernel {kernel_name} reads {operand.name} without declaring "
+            f"it as an input")
+
+    def _run_kernel(self, kernel: Kernel,
+                    env: dict[Node, np.ndarray]) -> None:
+        input_set = set(kernel.inputs)
+        local: dict[Node, np.ndarray] = {}
+        for node in kernel.nodes:
+            inputs = [self._operand_value(op, local, env, input_set,
+                                          kernel.name)
+                      for op in node.operands]
+            value = evaluate_node(node, inputs)
+            local[node] = np.asarray(value, dtype=node.dtype.to_numpy())
+        for out in kernel.outputs:
+            if out not in local:
+                raise ExecutionError(
+                    f"kernel {kernel.name} declares output {out.name} but "
+                    f"never computes it")
+            env[out] = local[out]
+
+    def _run_library(self, step: LibraryCall,
+                     env: dict[Node, np.ndarray]) -> None:
+        node = step.node
+        inputs = []
+        for operand in node.operands:
+            if operand in env:
+                inputs.append(env[operand])
+            elif operand.kind is OpKind.CONSTANT:
+                inputs.append(evaluate_node(operand, []))
+            else:
+                raise ExecutionError(
+                    f"library call {node.name} reads {operand.name} before "
+                    f"any step stored it")
+        env[node] = np.asarray(library_call(node, inputs),
+                               dtype=node.dtype.to_numpy())

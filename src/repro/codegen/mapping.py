@@ -1,0 +1,159 @@
+"""Thread-mapping constructors.
+
+Two families:
+
+* *naive* mappings reproduce the fixed strategies of the baselines —
+  XLA's block-per-row row-reduce that yields Fig 6's pathologies;
+* *adaptive* mappings implement Sec 3.3 — horizontal/vertical task packing
+  and task splitting — keeping the grid inside one wave so a global
+  barrier stays legal while parallelism stays high.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.codegen.schedule import MappingKind, ThreadMapping
+from repro.gpu.spec import GPUSpec
+
+_DEFAULT_BLOCK = 256
+_MAX_BLOCK = 1024
+_SPLIT_ROW_THRESHOLD = 1024  # paper: split when a row holds >1024 items
+
+
+def _round_up_warp(n: int, warp: int = 32) -> int:
+    return max(warp, math.ceil(n / warp) * warp)
+
+
+def _pow2_at_most(n: int) -> int:
+    return 1 << max(0, n.bit_length() - 1)
+
+
+def naive_elementwise(num_elements: int,
+                      block_size: int = _DEFAULT_BLOCK) -> ThreadMapping:
+    """One thread per element — what every baseline emits for loops."""
+    num_elements = max(1, num_elements)
+    block_size = min(block_size, _MAX_BLOCK)
+    grid = math.ceil(num_elements / block_size)
+    return ThreadMapping(MappingKind.ELEMENTWISE, grid, block_size)
+
+
+def naive_row_reduce(rows: int, row_width: int) -> ThreadMapping:
+    """XLA-style row-reduce: one block per row.
+
+    Block size is the row width rounded to a warp, capped at 1024 — exactly
+    the strategy that launches 750,000 blocks of 32 threads for
+    ``<750000,32>`` (Fig 6a) and 64 blocks of 1024 for ``<64,30000>``
+    (Fig 6b).
+    """
+    rows = max(1, rows)
+    block = min(_MAX_BLOCK, _round_up_warp(min(row_width, _MAX_BLOCK)))
+    return ThreadMapping(MappingKind.ROW_REDUCE, rows, block,
+                         rows=rows, row_width=row_width)
+
+
+def naive_column_reduce(rows: int, row_width: int) -> ThreadMapping:
+    """Baseline column-reduce: blocks tile the input, atomics combine."""
+    elements = max(1, rows * row_width)
+    grid = math.ceil(elements / _DEFAULT_BLOCK)
+    return ThreadMapping(MappingKind.COLUMN_REDUCE, grid, _DEFAULT_BLOCK,
+                         rows=rows, row_width=row_width)
+
+
+def adaptive_elementwise(num_elements: int, spec: GPUSpec,
+                         block_size: int = _MAX_BLOCK,
+                         wave_limit: int | None = None) -> ThreadMapping:
+    """Element-wise mapping vertically packed to fit one wave.
+
+    Sec 4.5: AStitch prefers the largest legal block size (1024) because it
+    minimizes the per-wave block count and hence global-barrier cost.  For
+    *small* tensors that cannot fill the machine at 1024 threads/block,
+    the block shrinks so the grid still covers every SM — the parallelism-
+    first side of adaptive mapping.
+    """
+    num_elements = max(1, num_elements)
+    block_size = min(block_size, _MAX_BLOCK, spec.max_threads_per_block)
+    if num_elements < spec.num_sms * block_size:
+        per_sm = math.ceil(num_elements / spec.num_sms)
+        block_size = max(32, min(block_size,
+                                 _pow2_at_most(_round_up_warp(per_sm))))
+    if wave_limit is None:
+        wave_limit = spec.blocks_per_wave(block_size)
+    raw_grid = math.ceil(num_elements / block_size)
+    tasks = max(1, math.ceil(raw_grid / wave_limit))
+    grid = math.ceil(raw_grid / tasks)
+    return ThreadMapping(MappingKind.ELEMENTWISE, grid, block_size,
+                         tasks_per_thread=tasks)
+
+
+def adaptive_row_reduce(rows: int, row_width: int, spec: GPUSpec,
+                        wave_limit: int | None = None) -> ThreadMapping:
+    """Sec 3.3 task packing / splitting for row reduction.
+
+    * Wide-but-few rows (``rows < wave`` and ``row_width > 1024``): *task
+      splitting* — several blocks cooperate per row with a cross-block
+      atomic, raising the block count (fixes Fig 6b).
+    * Otherwise: *horizontal packing* — several narrow rows share one
+      1024-thread block (fixes Fig 6a) — and *vertical packing* caps the
+      grid at one wave so a global barrier stays legal.
+    """
+    rows = max(1, rows)
+    row_width = max(1, row_width)
+    if wave_limit is None:
+        wave_limit = spec.blocks_per_wave(_MAX_BLOCK)
+
+    if rows < wave_limit and row_width > _SPLIT_ROW_THRESHOLD:
+        max_split = max(1, wave_limit // rows)
+        blocks_per_row = min(math.ceil(row_width / _MAX_BLOCK), max_split)
+        if blocks_per_row > 1:
+            return ThreadMapping(
+                MappingKind.ROW_REDUCE,
+                grid_size=rows * blocks_per_row,
+                block_size=_MAX_BLOCK,
+                blocks_per_row=blocks_per_row,
+                rows=rows,
+                row_width=row_width,
+            )
+
+    threads_per_row = min(_MAX_BLOCK,
+                          _pow2_at_most(max(32, _round_up_warp(row_width))))
+    # Horizontal packing fixes the small-block-size issue, but packing
+    # *too* hard on a small tensor would starve SMs — keep at least one
+    # block per SM when there are enough rows to do so.
+    max_pack = max(1, min(_MAX_BLOCK // threads_per_row, rows))
+    rows_per_block = max(1, min(max_pack, math.ceil(rows / spec.num_sms)))
+    block_size = threads_per_row * rows_per_block
+    raw_grid = math.ceil(rows / rows_per_block)
+    tasks = max(1, math.ceil(raw_grid / wave_limit))
+    grid = math.ceil(raw_grid / tasks)
+    return ThreadMapping(
+        MappingKind.ROW_REDUCE,
+        grid_size=grid,
+        block_size=block_size,
+        rows_per_block=rows_per_block,
+        tasks_per_thread=tasks,
+        rows=rows,
+        row_width=row_width,
+    )
+
+
+def adaptive_column_reduce(rows: int, row_width: int, spec: GPUSpec,
+                           wave_limit: int | None = None) -> ThreadMapping:
+    """Column-reduce capped to one wave; atomics combine partials."""
+    elements = max(1, rows * row_width)
+    if wave_limit is None:
+        wave_limit = spec.blocks_per_wave(_MAX_BLOCK)
+    raw_grid = math.ceil(elements / _MAX_BLOCK)
+    grid = min(raw_grid, wave_limit)
+    return ThreadMapping(MappingKind.COLUMN_REDUCE, grid, _MAX_BLOCK,
+                         rows=rows, row_width=row_width)
+
+
+def reduce_geometry(in_shape, axes: tuple[int, ...]) -> tuple[int, int]:
+    """(rows, row_width) of a reduction: rows are outputs, width is the
+    reduction extent per output."""
+    width = 1
+    for axis in axes:
+        width *= in_shape.dim(axis)
+    rows = max(1, in_shape.num_elements // max(1, width))
+    return rows, width

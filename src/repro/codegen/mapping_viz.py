@@ -1,0 +1,75 @@
+"""ASCII visualization of thread mappings (the Fig 6 / Fig 8 diagrams).
+
+Renders how a schedule assigns thread blocks to reduction rows — the
+picture the paper draws for the small-block-size / small-block-count
+pathologies and for task packing and splitting:
+
+    rows ->  [b0 b0 b0 b0][b1 b1 b1 b1] ...      one block per row (naive)
+    rows ->  [b0: r0 r1 ... r31] ...             horizontal packing
+    row 0 -> [b0 b0 b0 | b1 b1 b1] (+atomic)     task splitting
+"""
+
+from __future__ import annotations
+
+from repro.codegen.schedule import MappingKind, ThreadMapping
+
+
+def render_mapping(mapping: ThreadMapping, max_cells: int = 8) -> str:
+    """Render one schedule as a small ASCII diagram with a caption."""
+    lines = [mapping.describe()]
+    if mapping.kind is MappingKind.ELEMENTWISE:
+        cells = min(mapping.grid_size, max_cells)
+        row = " ".join(f"[b{i}:{mapping.block_size}t"
+                       + (f" x{mapping.tasks_per_thread}]"
+                          if mapping.tasks_per_thread > 1 else "]")
+                       for i in range(cells))
+        suffix = " ..." if mapping.grid_size > cells else ""
+        lines.append(f"elements -> {row}{suffix}")
+        return "\n".join(lines)
+
+    if mapping.blocks_per_row > 1:
+        parts = " | ".join(f"b{i}" for i in range(
+            min(mapping.blocks_per_row, max_cells)))
+        lines.append(f"row 0 -> [ {parts} ]  + cross-block atomic "
+                     f"(task splitting, Fig 8b)")
+        covered = min(mapping.rows, 3)
+        for r in range(1, covered):
+            base = r * mapping.blocks_per_row
+            parts = " | ".join(f"b{base + i}" for i in range(
+                min(mapping.blocks_per_row, max_cells)))
+            lines.append(f"row {r} -> [ {parts} ]")
+        if mapping.rows > covered:
+            lines.append("...")
+        return "\n".join(lines)
+
+    if mapping.rows_per_block > 1:
+        shown = min(mapping.grid_size, 3)
+        for b in range(shown):
+            first = b * mapping.rows_per_block
+            last = first + mapping.rows_per_block - 1
+            lines.append(
+                f"block b{b} -> rows {first}..{last} "
+                f"({mapping.threads_per_row} threads each"
+                + (f", x{mapping.tasks_per_thread} tasks)"
+                   if mapping.tasks_per_thread > 1 else ")"))
+        if mapping.grid_size > shown:
+            lines.append("...")
+        lines.append("(horizontal packing, Fig 8a)")
+        return "\n".join(lines)
+
+    cells = min(mapping.grid_size, max_cells)
+    row = " ".join(f"[b{i}]" for i in range(cells))
+    suffix = " ..." if mapping.grid_size > cells else ""
+    lines.append(f"rows -> {row}{suffix}  (one block per row)")
+    return "\n".join(lines)
+
+
+def render_comparison(naive: ThreadMapping,
+                      adaptive: ThreadMapping) -> str:
+    """The before/after picture of adaptive thread mapping."""
+    return "\n".join([
+        "--- naive (Fig 6) ---",
+        render_mapping(naive),
+        "--- adaptive (Fig 8) ---",
+        render_mapping(adaptive),
+    ])

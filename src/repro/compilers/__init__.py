@@ -1,0 +1,29 @@
+"""Compilation strategies.
+
+One module per system the paper compares against, plus the shared
+infrastructure.  The AStitch compiler itself lives in :mod:`repro.core`
+(it is the paper's contribution); it is re-exported here so callers can
+enumerate all strategies uniformly.
+"""
+
+from repro.compilers.base import CompiledModule, Compiler, order_steps
+from repro.compilers.tensorflow import TensorFlowCompiler
+from repro.compilers.xla import XLACompiler
+from repro.compilers.tvm import TVMCompiler
+from repro.compilers.tensorrt import TensorRTCompiler
+from repro.compilers.ansor import AnsorCompiler
+from repro.compilers.cudagraph import CudaGraphCompiler
+from repro.compilers.fusionstitching import FusionStitchingCompiler
+
+__all__ = [
+    "CompiledModule",
+    "Compiler",
+    "order_steps",
+    "TensorFlowCompiler",
+    "XLACompiler",
+    "TVMCompiler",
+    "TensorRTCompiler",
+    "AnsorCompiler",
+    "CudaGraphCompiler",
+    "FusionStitchingCompiler",
+]

@@ -1,0 +1,38 @@
+"""FusionStitching baseline ([57] in the paper).
+
+FusionStitching — the authors' earlier system — stitches with *shared
+memory only* and picks fusion patterns with a two-level cost model.
+AStitch's stated advances over it (Sec 7) are the **global stitching
+scheme** (device-wide data reuse with in-kernel barriers) and the
+search-free **adaptive thread mapping**.
+
+Modeled as the AStitch pipeline restricted to the regional scheme: a
+stitch scope whose values would need global buffering shatters into one
+kernel per schedule-group component instead of staying whole.  The
+`extra_fusionstitching` bench quantifies what the global scheme adds.
+"""
+
+from __future__ import annotations
+
+from repro.compilers.base import CompiledModule, Compiler
+from repro.core.compiler import AStitchCompiler
+from repro.core.config import AStitchConfig
+from repro.gpu.spec import GPUSpec, V100
+
+
+class FusionStitchingCompiler(Compiler):
+    """Shared-memory-only stitching (the AStitch predecessor)."""
+
+    name = "FusionStitching"
+
+    def __init__(self):
+        self._inner = AStitchCompiler(AStitchConfig.regional_only())
+
+    def compile(self, graph, spec: GPUSpec = V100) -> CompiledModule:
+        module = self._inner.compile(graph, spec)
+        return CompiledModule(
+            graph=module.graph,
+            steps=module.steps,
+            compiler_name=self.name,
+            compile_seconds=module.compile_seconds,
+        )

@@ -1,0 +1,76 @@
+"""TensorFlow baseline: one kernel per operator, framework-dispatched.
+
+This is the paper's normalization baseline: every memory-intensive op is
+its own kernel launch, every value round-trips through global memory, and
+each op pays the framework executor's scheduling cost on top of the launch
+latency.
+"""
+
+from __future__ import annotations
+
+from repro.compilers.base import (
+    CompiledModule,
+    Compiler,
+    framework_memcpys,
+    order_steps,
+)
+from repro.compilers.common import naive_mapping_for
+from repro.codegen.builder import make_kernel
+from repro.gpu.spec import GPUSpec, V100
+from repro.ir.graph import Graph, Node
+from repro.ir.ops import OpKind
+
+
+_VIEW_OPS = frozenset({OpKind.BROADCAST, OpKind.RESHAPE})
+
+
+class TensorFlowCompiler(Compiler):
+    """Kernel-per-op execution (TensorFlow v1.15 without XLA).
+
+    Broadcasts and reshapes are *views*: TensorFlow ops broadcast their
+    operands implicitly and reshape is metadata-only, so neither
+    materializes a tensor.  They are absorbed into their consumers'
+    kernels; everything else is one kernel per op with a full global-
+    memory round trip.
+    """
+
+    name = "TensorFlow"
+
+    def compile(self, graph: Graph, spec: GPUSpec = V100) -> CompiledModule:
+        kernels = []
+        library_nodes = []
+        graph_outputs = set(graph.outputs)
+
+        def absorbable(node: Node) -> bool:
+            if node.kind not in _VIEW_OPS or node in graph_outputs:
+                return False
+            users = graph.users(node)
+            return bool(users) and all(u.is_memory_intensive()
+                                       for u in users)
+
+        def view_closure(node: Node) -> list[Node]:
+            """The node plus its chain of absorbable view operands."""
+            nodes = [node]
+            stack = list(node.operands)
+            while stack:
+                operand = stack.pop()
+                if absorbable(operand) and operand not in nodes:
+                    nodes.append(operand)
+                    stack.extend(operand.operands)
+            return nodes
+
+        for node in graph.topological_order():
+            if node.kind in (OpKind.PARAMETER, OpKind.CONSTANT):
+                continue
+            if node.is_compute_intensive():
+                library_nodes.append(node)
+                continue
+            if absorbable(node):
+                continue
+            kernels.append(make_kernel(
+                graph, view_closure(node), naive_mapping_for(node),
+                name=f"op_{node.name}", outputs=[node]))
+        steps = order_steps(graph, kernels, library_nodes)
+        steps = list(framework_memcpys(graph, kernels,
+                                       len(library_nodes))) + steps
+        return CompiledModule(graph, steps, self.name, framework_mode=True)

@@ -1,0 +1,24 @@
+"""AStitch — the paper's contribution.
+
+Operator stitching for memory-intensive subgraphs: the four-scheme
+abstraction (Table 1), hierarchical data reuse (Sec 3.2), adaptive thread
+mapping (Sec 3.3) and the automatic compiler pipeline (Sec 4).
+"""
+
+from repro.core.schemes import StitchScheme, SCHEME_TABLE
+from repro.core.config import AStitchConfig
+from repro.core.scope import StitchScope, identify_stitch_scopes
+from repro.core.dominants import GroupInfo, ScopeAnalysis, analyze_scope
+from repro.core.compiler import AStitchCompiler
+
+__all__ = [
+    "StitchScheme",
+    "SCHEME_TABLE",
+    "AStitchConfig",
+    "StitchScope",
+    "identify_stitch_scopes",
+    "GroupInfo",
+    "ScopeAnalysis",
+    "analyze_scope",
+    "AStitchCompiler",
+]

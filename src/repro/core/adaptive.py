@@ -1,0 +1,118 @@
+"""Per-group thread mapping and schedule propagation (Sec 4.3, step 2).
+
+The final dominant of each group gets an adaptive thread mapping (task
+packing / splitting, Sec 3.3); every other node in the group inherits the
+schedule by element-wise index propagation (observation A), so nothing
+else needs a decision.  The stitched kernel then launches with one
+configuration that covers every group — the per-group grids are unified
+under the per-wave block cap so the global barrier stays legal.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.codegen import mapping as mappings
+from repro.codegen.schedule import MappingKind, ThreadMapping
+from repro.core.dominants import GroupInfo
+from repro.gpu.spec import GPUSpec
+from repro.ir.graph import Node
+from repro.ir.ops import OpKind
+
+
+def dominant_mapping(dominant: Node, spec: GPUSpec, adaptive: bool,
+                     wave_limit: int | None = None) -> ThreadMapping:
+    """Thread mapping for one group's final dominant.
+
+    Args:
+        dominant: The group's final dominant node.
+        spec: Target device.
+        adaptive: Use Sec 3.3 packing/splitting; otherwise emit the
+            baselines' naive mapping (the non-ATM ablation).
+        wave_limit: Per-wave block cap shared by the whole stitched kernel.
+    """
+    if dominant.kind is OpKind.REDUCE:
+        rows, width = mappings.reduce_geometry(dominant.operands[0].shape,
+                                               dominant.reduce_axes)
+        if adaptive:
+            if dominant.is_row_reduce():
+                return mappings.adaptive_row_reduce(rows, width, spec,
+                                                    wave_limit=wave_limit)
+            return mappings.adaptive_column_reduce(rows, width, spec,
+                                                   wave_limit=wave_limit)
+        if dominant.is_row_reduce():
+            return mappings.naive_row_reduce(rows, width)
+        return mappings.naive_column_reduce(rows, width)
+    size = max(1, dominant.num_elements)
+    if adaptive:
+        return mappings.adaptive_elementwise(size, spec,
+                                             wave_limit=wave_limit)
+    return mappings.naive_elementwise(size)
+
+
+@dataclasses.dataclass
+class UnifiedLaunch:
+    """The single launch configuration of a stitched kernel.
+
+    Attributes:
+        grid_size: Blocks launched (max over groups, capped at one wave
+            when the kernel contains global barriers).
+        block_size: Threads per block (max over groups).
+        group_mappings: Group id -> the group's logical mapping.
+        uses_atomics: Any group's schedule splits rows across blocks.
+    """
+
+    grid_size: int
+    block_size: int
+    group_mappings: dict[int, ThreadMapping]
+    uses_atomics: bool
+
+    def as_mapping(self) -> ThreadMapping:
+        """Collapse to a single ThreadMapping for kernel costing."""
+        kind = MappingKind.ELEMENTWISE
+        for group_mapping in self.group_mappings.values():
+            if group_mapping.kind is MappingKind.ROW_REDUCE:
+                kind = MappingKind.ROW_REDUCE
+                break
+            if group_mapping.kind is MappingKind.COLUMN_REDUCE:
+                kind = MappingKind.COLUMN_REDUCE
+        return ThreadMapping(kind, self.grid_size, self.block_size)
+
+
+def unify_launch(groups: list[GroupInfo], spec: GPUSpec, adaptive: bool,
+                 needs_barrier: bool,
+                 max_block_size: int = 1024) -> UnifiedLaunch:
+    """Compute one launch configuration covering every group.
+
+    When the kernel will contain global barriers, the grid must not exceed
+    one wave (Sec 3.2.3); per-group mappings are built under that cap so
+    their work folds into vertical packing rather than extra blocks.
+    """
+    block_size = min(max_block_size, spec.max_threads_per_block)
+    wave_limit = spec.blocks_per_wave(block_size) if needs_barrier else None
+
+    group_mappings: dict[int, ThreadMapping] = {}
+    for group in groups:
+        group_mappings[group.group_id] = dominant_mapping(
+            group.dominant, spec, adaptive, wave_limit=wave_limit)
+
+    grid = max(m.grid_size for m in group_mappings.values())
+    block = max(m.block_size for m in group_mappings.values())
+
+    if adaptive:
+        # The launch must provision parallelism for the *widest* operator
+        # in the kernel, not only the dominants: a 1-row reduce dominant
+        # must not strangle the element-wise work propagated onto its
+        # schedule.  Vertical packing absorbs the excess when a barrier
+        # caps the grid.
+        widest = max(node.num_elements
+                     for group in groups for node in group.nodes)
+        work_mapping = mappings.adaptive_elementwise(
+            widest, spec, block_size=block, wave_limit=wave_limit)
+        grid = max(grid, work_mapping.grid_size)
+        block = max(block, work_mapping.block_size)
+
+    if needs_barrier and wave_limit is not None:
+        grid = min(grid, wave_limit)
+    uses_atomics = any(m.uses_atomics for m in group_mappings.values())
+    return UnifiedLaunch(grid, block, group_mappings, uses_atomics)

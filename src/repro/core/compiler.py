@@ -1,0 +1,263 @@
+"""The AStitch compiler (Sec 4).
+
+Pipeline per stitch scope:
+
+1. scope identification + remote stitching (:mod:`repro.core.scope`);
+2. dominant identification, merging, op grouping
+   (:mod:`repro.core.dominants`);
+3. adaptive thread mapping + schedule propagation under a unified launch
+   (:mod:`repro.core.adaptive`);
+4. scheme finalization via block-locality (:mod:`repro.core.locality`);
+5. shared-memory budgeting with regional->global demotion and global
+   scratch planning (:mod:`repro.core.memplan`);
+6. assume-relax-apply launch configuration (:mod:`repro.core.launch`).
+
+Every stitch scope becomes one GPU kernel with in-kernel global barriers
+between schedule-group stages — the *stitch op* of the paper.
+"""
+
+from __future__ import annotations
+
+from repro.codegen.builder import make_kernel
+from repro.codegen.kernel import Kernel
+from repro.codegen import mapping as mappings
+from repro.compilers.base import (
+    CompiledModule,
+    Compiler,
+    framework_memcpys,
+    order_steps,
+)
+from repro.compilers.common import build_root_kernels, xla_fusion_roots
+from repro.core.adaptive import dominant_mapping, unify_launch
+from repro.core.config import AStitchConfig
+from repro.core.dominants import ScopeAnalysis, analyze_scope
+from repro.core.launch import configure_launch
+from repro.core.locality import assign_schemes
+from repro.core.memplan import plan_memory
+from repro.core.schemes import StitchScheme
+from repro.core.scope import StitchScope, identify_stitch_scopes
+from repro.gpu.spec import GPUSpec, V100
+from repro.ir.graph import Graph, Node
+from repro.ir.ops import OpKind
+from repro.ir import patterns
+
+# Sec 6.4.1: ~90 s of JIT work on 5,000-10,000-node graphs.
+ASTITCH_COMPILE_SECONDS_PER_NODE = 90.0 / 7500.0
+
+
+def _group_sccs(graph: Graph, scope_set: set[Node],
+                analysis: ScopeAnalysis) -> list[list[int]]:
+    """Strongly-connected components of the group DAG, in topological
+    order of the condensation (iterative Kosaraju — the group graph is
+    tiny but may legitimately contain cycles after merging)."""
+    num = len(analysis.groups)
+    fwd: dict[int, set[int]] = {g: set() for g in range(num)}
+    rev: dict[int, set[int]] = {g: set() for g in range(num)}
+    for node in scope_set:
+        src = analysis.group_of[node]
+        for user in graph.users(node):
+            if user in scope_set and analysis.group_of[user] != src:
+                fwd[src].add(analysis.group_of[user])
+                rev[analysis.group_of[user]].add(src)
+
+    visited: set[int] = set()
+    finish_order: list[int] = []
+    for start in range(num):
+        if start in visited:
+            continue
+        stack = [(start, iter(fwd[start]))]
+        visited.add(start)
+        while stack:
+            current, children = stack[-1]
+            advanced = False
+            for child in children:
+                if child not in visited:
+                    visited.add(child)
+                    stack.append((child, iter(fwd[child])))
+                    advanced = True
+                    break
+            if not advanced:
+                finish_order.append(current)
+                stack.pop()
+
+    assigned: set[int] = set()
+    sccs: list[list[int]] = []
+    for start in reversed(finish_order):
+        if start in assigned:
+            continue
+        component = [start]
+        assigned.add(start)
+        queue = [start]
+        while queue:
+            current = queue.pop()
+            for prev in rev[current]:
+                if prev not in assigned:
+                    assigned.add(prev)
+                    component.append(prev)
+                    queue.append(prev)
+        sccs.append(sorted(component))
+    return sccs
+
+
+class AStitchCompiler(Compiler):
+    """Operator-stitching JIT compiler."""
+
+    name = "AStitch"
+
+    def __init__(self, config: AStitchConfig | None = None):
+        self.config = config or AStitchConfig.full()
+        if not self.config.exhaustive_stitching:
+            self.name = "AStitch-ATM"
+        elif not self.config.dominant_merging:
+            self.name = "AStitch-HDM"
+        elif not self.config.enable_global_scheme:
+            self.name = "AStitch-regional"
+
+    def compile(self, graph: Graph, spec: GPUSpec = V100) -> CompiledModule:
+        if self.config.exhaustive_stitching:
+            kernels: list[Kernel] = []
+            scopes = identify_stitch_scopes(
+                graph, remote_stitching=self.config.remote_stitching)
+            for scope in scopes:
+                kernels.extend(self._compile_scope(graph, scope, spec))
+        else:
+            kernels = self._atm_kernels(graph, spec)
+
+        library_nodes = list(graph.compute_intensive_nodes())
+        steps = order_steps(graph, kernels, library_nodes)
+        steps = list(framework_memcpys(graph, kernels,
+                                       len(library_nodes))) + steps
+        return CompiledModule(
+            graph, steps, self.name,
+            compile_seconds=len(graph) * ASTITCH_COMPILE_SECONDS_PER_NODE)
+
+    # -- ATM ablation: adaptive mapping on XLA's fusion scopes ------------------
+
+    def _atm_kernels(self, graph: Graph, spec: GPUSpec) -> list[Kernel]:
+        def adaptive_mapping_for(root: Node):
+            if root.kind is OpKind.REDUCE:
+                rows, width = mappings.reduce_geometry(
+                    root.operands[0].shape, root.reduce_axes)
+                if root.is_row_reduce():
+                    return mappings.adaptive_row_reduce(rows, width, spec)
+                return mappings.adaptive_column_reduce(rows, width, spec)
+            return mappings.adaptive_elementwise(
+                max(1, root.num_elements), spec)
+
+        kernels = []
+        for component in patterns.memory_intensive_components(graph):
+            roots = xla_fusion_roots(graph, component)
+            kernels.extend(build_root_kernels(graph, component, roots,
+                                              adaptive_mapping_for))
+        return kernels
+
+    # -- full stitching ------------------------------------------------------------
+
+    def _compile_scope(self, graph: Graph, scope: StitchScope,
+                       spec: GPUSpec) -> list[Kernel]:
+        cfg = self.config
+        analysis = analyze_scope(graph, scope.nodes,
+                                 dominant_merging=cfg.dominant_merging)
+        needs_barrier = analysis.stages > 1 and cfg.enable_global_scheme
+        launch = unify_launch(analysis.groups, spec,
+                              cfg.adaptive_thread_mapping, needs_barrier,
+                              cfg.max_block_size)
+        schemes = assign_schemes(graph, analysis, launch.group_mappings,
+                                 scope.node_set,
+                                 allow_global=cfg.enable_global_scheme)
+
+        wants_global = any(s is StitchScheme.GLOBAL
+                           for s in schemes.values())
+        if not cfg.enable_global_scheme and wants_global \
+                and len(analysis.groups) > 1:
+            return self._per_group_kernels(graph, scope, analysis, launch,
+                                           schemes, spec)
+
+        reduce_groups = sum(1 for g in analysis.groups
+                            if g.dominant.kind is OpKind.REDUCE)
+        plan = plan_memory(graph, schemes, launch.grid_size,
+                           launch.block_size, spec, analysis.group_of,
+                           analysis.group_stage, reduce_groups)
+        launch_cfg = configure_launch(spec, launch.block_size,
+                                      plan.smem_per_block)
+
+        grid = launch.grid_size
+        has_global_values = any(s is StitchScheme.GLOBAL
+                                for s in plan.schemes.values())
+        barriers = 0
+        if has_global_values:
+            # Consumers of a global-scheme value may live in other blocks;
+            # each group-DAG stage boundary needs one device-wide barrier
+            # (at least one even for a single stage, to publish atomics).
+            barriers = max(1, analysis.stages - 1)
+            grid = min(grid, launch_cfg.blocks_per_wave)
+
+        placements = {
+            node: scheme.memory_space
+            for node, scheme in plan.schemes.items()
+            if scheme in (StitchScheme.REGIONAL, StitchScheme.GLOBAL)
+        }
+        redundancy = {n: f for n, f in analysis.duplication.items()
+                      if f > 1.0}
+        read_factors = {op: float(g)
+                        for op, g in analysis.input_read_groups.items()
+                        if g > 1}
+
+        unified = launch.as_mapping()
+        mapping = type(unified)(unified.kind, grid, unified.block_size)
+        kernel = make_kernel(
+            graph, scope.nodes, mapping,
+            name=f"stitch_{scope.scope_id}",
+            placements=placements,
+            redundancy=redundancy,
+            num_global_barriers=barriers,
+        )
+        kernel.input_read_factors = read_factors
+        kernel.regs_per_thread = launch_cfg.register_bound
+        kernel.smem_per_block = plan.smem_per_block
+        kernel.extra_atomic_rounds = sum(
+            1 for m in launch.group_mappings.values() if m.uses_atomics)
+        return [kernel]
+
+    def _per_group_kernels(self, graph: Graph, scope: StitchScope,
+                           analysis: ScopeAnalysis, launch, schemes,
+                           spec: GPUSpec) -> list[Kernel]:
+        """Regional-only fallback: one kernel per schedule group.
+
+        Cross-group values travel through global memory *between* kernels
+        (ordinary kernel outputs/inputs) instead of through an in-kernel
+        global scheme — the FusionStitching-style predecessor design.
+        Groups whose dependencies form a cycle cannot be separate kernels,
+        so each strongly-connected component of the group DAG becomes one
+        kernel.
+        """
+        components = _group_sccs(graph, scope.node_set, analysis)
+        kernels = []
+        for idx, group_ids in enumerate(components):
+            nodes: set[Node] = set()
+            for gid in group_ids:
+                nodes |= set(analysis.groups[gid].nodes)
+            mapping = max(
+                (launch.group_mappings[gid] for gid in group_ids),
+                key=lambda m: m.grid_size * m.block_size)
+            component_schemes = {
+                node: scheme for node, scheme in schemes.items()
+                if node in nodes and scheme is StitchScheme.REGIONAL
+            }
+            reduce_groups = sum(
+                1 for gid in group_ids
+                if analysis.groups[gid].dominant.kind is OpKind.REDUCE)
+            plan = plan_memory(graph, component_schemes, mapping.grid_size,
+                               mapping.block_size, spec,
+                               analysis.group_of, analysis.group_stage,
+                               reduce_groups=reduce_groups)
+            placements = {node: scheme.memory_space
+                          for node, scheme in plan.schemes.items()}
+            kernel = make_kernel(
+                graph, sorted(nodes, key=lambda n: n.node_id), mapping,
+                name=f"stitch_{scope.scope_id}_c{idx}",
+                placements=placements,
+            )
+            kernel.smem_per_block = plan.smem_per_block
+            kernels.append(kernel)
+        return kernels

@@ -1,0 +1,66 @@
+"""Resource-aware launch configuration (Sec 4.5): assume-relax-apply.
+
+The global barrier needs the grid to fit one wave, but the wave size
+depends on register usage known only after compilation.  The paper's
+answer:
+
+1. **assume** a small register bound (32) and compute the per-wave block
+   count from it plus the planned shared-memory usage and block size;
+2. **relax** — if parallelism is actually bounded by shared memory (or the
+   block limit), registers can grow without shrinking the wave, so raise
+   the bound to the largest value that keeps the same residency;
+3. **apply** the relaxed bound as a compiler annotation (here: the
+   kernel's ``regs_per_thread``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.gpu.occupancy import occupancy
+from repro.gpu.spec import GPUSpec
+
+ASSUMED_REGISTER_BOUND = 32
+
+
+@dataclasses.dataclass(frozen=True)
+class LaunchConfig:
+    """Final launch resources for a stitched kernel.
+
+    Attributes:
+        block_size: Threads per block.
+        blocks_per_wave: Device-wide co-resident blocks under these
+            resources — the cap any global barrier must respect.
+        register_bound: Relaxed per-thread register budget applied when
+            lowering (no spilling was observed in the paper under this
+            method, Sec 4.5).
+    """
+
+    block_size: int
+    blocks_per_wave: int
+    register_bound: int
+
+
+def configure_launch(spec: GPUSpec, block_size: int,
+                     smem_per_block: int) -> LaunchConfig:
+    """Run assume-relax-apply for one kernel.
+
+    Raises:
+        ValueError: If the block size or shared-memory request can never
+            be resident (propagated from the occupancy calculator).
+    """
+    assumed = occupancy(spec, block_size, ASSUMED_REGISTER_BOUND,
+                        smem_per_block)
+    blocks_per_sm = assumed.blocks_per_sm
+
+    # Largest register bound that keeps the same per-SM residency.
+    relaxed = spec.registers_per_sm // max(1, blocks_per_sm * block_size)
+    relaxed = max(ASSUMED_REGISTER_BOUND,
+                  min(relaxed, spec.max_registers_per_thread))
+
+    final = occupancy(spec, block_size, relaxed, smem_per_block)
+    return LaunchConfig(
+        block_size=block_size,
+        blocks_per_wave=final.blocks_per_wave,
+        register_bound=relaxed,
+    )

@@ -1,0 +1,119 @@
+"""Memory-usage optimization (Sec 4.4).
+
+Two responsibilities:
+
+* keep the per-block shared-memory footprint of regional buffers inside
+  the hardware limit, demoting regional values to global one by one
+  (largest first) until it fits;
+* plan global-memory buffers for global-scheme intermediates with
+  liveness-based reuse (the paper uses a dominance-tree data-flow
+  analysis; stage-ordered liveness gives the same reuse on the group DAG),
+  reporting peak usage and how many fresh device allocations were needed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.core.schemes import StitchScheme
+from repro.gpu.memory import GlobalMemoryPool
+from repro.gpu.spec import GPUSpec
+from repro.ir.graph import Graph, Node
+
+
+@dataclasses.dataclass
+class MemoryPlan:
+    """Result of memory planning for one stitched kernel.
+
+    Attributes:
+        schemes: Final scheme per buffered value (after demotions).
+        smem_per_block: Shared-memory bytes one block allocates.
+        demoted: Values demoted regional -> global to fit the budget.
+        global_peak_bytes: Peak global scratch across the kernel's stages.
+        fresh_allocations: Device allocations that could not be served
+            from the reuse pool.
+    """
+
+    schemes: dict[Node, StitchScheme]
+    smem_per_block: int
+    demoted: tuple[Node, ...]
+    global_peak_bytes: int
+    fresh_allocations: int
+
+
+def _regional_block_bytes(node: Node, grid_size: int) -> int:
+    """One block's shared-memory slice of a regional value."""
+    share = math.ceil(node.num_elements / max(1, grid_size))
+    return share * node.dtype.nbytes
+
+
+def plan_memory(graph: Graph,
+                schemes: dict[Node, StitchScheme],
+                grid_size: int,
+                block_size: int,
+                spec: GPUSpec,
+                group_of: dict[Node, int],
+                stages_of: dict[int, int],
+                reduce_groups: int) -> MemoryPlan:
+    """Fit regional buffers into shared memory and plan global scratch.
+
+    Args:
+        graph: Source graph.
+        schemes: Initial scheme assignment from the locality pass.
+        grid_size: Stitched kernel's grid.
+        block_size: Stitched kernel's block size.
+        spec: Target device.
+        group_of: Node -> group id.
+        stages_of: Group id -> topological stage (for liveness).
+        reduce_groups: Number of reduce-dominated groups; each needs a
+            block-wide tree-reduction workspace.
+    """
+    schemes = dict(schemes)
+    workspace = reduce_groups * block_size * 4
+    budget = spec.shared_memory_per_block
+
+    regional = [n for n, s in schemes.items()
+                if s is StitchScheme.REGIONAL]
+    regional.sort(key=lambda n: _regional_block_bytes(n, grid_size),
+                  reverse=True)
+
+    def total_smem() -> int:
+        return workspace + sum(
+            _regional_block_bytes(n, grid_size)
+            for n, s in schemes.items() if s is StitchScheme.REGIONAL)
+
+    demoted: list[Node] = []
+    for node in regional:
+        if total_smem() <= budget:
+            break
+        schemes[node] = StitchScheme.GLOBAL
+        demoted.append(node)
+
+    # Global scratch with stage-based liveness reuse.
+    pool = GlobalMemoryPool(capacity=16 * 1024 ** 3)
+    live: list[tuple[int, Node, object]] = []  # (last stage, node, buffer)
+    global_values = sorted(
+        (n for n, s in schemes.items() if s is StitchScheme.GLOBAL),
+        key=lambda n: stages_of.get(group_of.get(n, 0), 0))
+    for node in global_values:
+        stage = stages_of.get(group_of.get(node, 0), 0)
+        # Free buffers whose last consumer stage has passed.
+        for entry in list(live):
+            if entry[0] < stage:
+                pool.release(entry[2])
+                live.remove(entry)
+        buf = pool.allocate(node.num_elements * node.dtype.nbytes,
+                            tag=node.name)
+        last_use = max(
+            (stages_of.get(group_of.get(u, 0), stage)
+             for u in graph.users(node)), default=stage)
+        live.append((last_use, node, buf))
+
+    return MemoryPlan(
+        schemes=schemes,
+        smem_per_block=min(total_smem(), budget),
+        demoted=tuple(demoted),
+        global_peak_bytes=pool.peak_bytes,
+        fresh_allocations=pool.fresh_allocations,
+    )

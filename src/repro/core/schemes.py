@@ -1,0 +1,62 @@
+"""The operator-stitching scheme abstraction (Table 1).
+
+Four schemes cover every dependency scenario under the joint view of
+dependency kind, memory hierarchy and locality-vs-parallelism:
+
+=============  =============  ==============  =========================
+Scheme         Dependency     Memory space    Locality vs. parallelism
+=============  =============  ==============  =========================
+Independent    none           none            —
+Local          one-to-one     register        —
+Regional       one-to-many    shared memory   CTA locality first
+Global         any            global memory   parallelism first
+=============  =============  ==============  =========================
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from repro.gpu.memory import MemorySpace
+
+
+class StitchScheme(enum.Enum):
+    """How an operator's output is communicated to its consumers."""
+
+    INDEPENDENT = "independent"
+    LOCAL = "local"
+    REGIONAL = "regional"
+    GLOBAL = "global"
+
+    @property
+    def memory_space(self) -> MemorySpace:
+        return _SCHEME_SPACES[self]
+
+
+_SCHEME_SPACES = {
+    StitchScheme.INDEPENDENT: MemorySpace.NONE,
+    StitchScheme.LOCAL: MemorySpace.REGISTER,
+    StitchScheme.REGIONAL: MemorySpace.SHARED,
+    StitchScheme.GLOBAL: MemorySpace.GLOBAL,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class SchemeRow:
+    """One row of Table 1."""
+
+    scheme: StitchScheme
+    dependency: str
+    memory_space: MemorySpace
+    priority: str
+
+
+SCHEME_TABLE: tuple[SchemeRow, ...] = (
+    SchemeRow(StitchScheme.INDEPENDENT, "none", MemorySpace.NONE, "-"),
+    SchemeRow(StitchScheme.LOCAL, "one-to-one", MemorySpace.REGISTER, "-"),
+    SchemeRow(StitchScheme.REGIONAL, "one-to-many", MemorySpace.SHARED,
+              "CTA locality first"),
+    SchemeRow(StitchScheme.GLOBAL, "any", MemorySpace.GLOBAL,
+              "parallelism first"),
+)

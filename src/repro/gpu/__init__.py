@@ -1,0 +1,30 @@
+"""Analytical SIMT GPU model.
+
+The paper measures effects on real NVIDIA GPUs; this package substitutes an
+analytical model of the same mechanisms: occupancy-limited parallelism,
+DRAM-bandwidth-bound kernels, kernel-launch and global-barrier latencies,
+and the nvprof counters the evaluation reports.
+"""
+
+from repro.gpu.spec import GPUSpec, V100, T4, A100
+from repro.gpu.occupancy import OccupancyResult, occupancy
+from repro.gpu.counters import PerfCounters
+from repro.gpu.costmodel import KernelCostInputs, KernelCostModel
+from repro.gpu.barrier import global_barrier_latency
+from repro.gpu.memory import MemorySpace, Buffer, GlobalMemoryPool
+
+__all__ = [
+    "GPUSpec",
+    "V100",
+    "T4",
+    "A100",
+    "OccupancyResult",
+    "occupancy",
+    "PerfCounters",
+    "KernelCostInputs",
+    "KernelCostModel",
+    "global_barrier_latency",
+    "MemorySpace",
+    "Buffer",
+    "GlobalMemoryPool",
+]

@@ -1,0 +1,44 @@
+"""In-kernel global barrier cost model.
+
+AStitch's *global* stitching scheme keeps every thread block resident and
+synchronizes them with a software barrier (Xiao & Feng style, Sec 3.2.3).
+Table 6 of the paper measures a barrier-only kernel on V100: 2.53 us at
+20 blocks rising to 2.72 us at 160 blocks (the per-wave block cap for
+block size 1024), always below the ~10 us kernel-launch overhead it
+replaces.  The linear fit below reproduces that table.
+"""
+
+from __future__ import annotations
+
+from repro.gpu.spec import GPUSpec
+
+# Fit of Table 6: intercept at 0 blocks and slope per participating block.
+_BASE_LATENCY = 2.50e-6
+_PER_BLOCK_LATENCY = 1.36e-9
+
+
+def global_barrier_latency(spec: GPUSpec, num_blocks: int) -> float:
+    """Latency in seconds of one device-wide software barrier.
+
+    Args:
+        spec: Target device; latency scales with the device's relative
+            atomic round-trip (normalized to the V100 measurements).
+        num_blocks: Participating thread blocks; must not exceed one wave,
+            otherwise the barrier would deadlock (Sec 3.2.3) — callers are
+            responsible for that invariant, checked here defensively.
+
+    Raises:
+        ValueError: If ``num_blocks`` exceeds the device's absolute resident
+            block capacity (a deadlock in real execution).
+    """
+    if num_blocks < 0:
+        raise ValueError("negative block count")
+    if num_blocks > spec.max_resident_blocks:
+        raise ValueError(
+            f"{num_blocks} blocks can never be co-resident on {spec.name} "
+            f"(max {spec.max_resident_blocks}); a global barrier would "
+            f"deadlock")
+    # Scale by memory-latency class relative to V100.
+    scale = 900e9 / spec.dram_bandwidth
+    scale = min(max(scale, 0.5), 3.0)
+    return (_BASE_LATENCY + _PER_BLOCK_LATENCY * num_blocks) * scale

@@ -1,0 +1,182 @@
+"""Analytical kernel cost model.
+
+A memory-intensive kernel's time is modeled as the roofline maximum of its
+DRAM time and its FP-instruction time, de-rated by how well the launch
+fills the machine:
+
+* effective DRAM bandwidth scales with achieved occupancy (few resident
+  warps cannot cover memory latency — the Fig 6(a) "small block size"
+  pathology);
+* effective compute throughput scales with SM coverage (a 64-block grid on
+  an 80-SM V100 leaves SMs idle — the Fig 6(b) "small block count"
+  pathology);
+* global barriers and cross-block atomics add their latencies.
+
+Only *relative* behaviour matters for the reproduction: the model's job is
+to rank kernels (and compiler strategies) the way the mechanisms rank them
+on hardware.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.gpu.barrier import global_barrier_latency
+from repro.gpu.counters import PerfCounters
+from repro.gpu.occupancy import achieved_occupancy, occupancy, sm_efficiency
+from repro.gpu.spec import GPUSpec
+
+# Occupancy at which DRAM bandwidth saturates; below it, bandwidth degrades
+# roughly linearly (latency hiding needs resident warps — this is what makes
+# the Fig 6 launches slow: 0.5 occupancy from 32-thread blocks, 0.4 from a
+# 64-block grid).
+_BANDWIDTH_SATURATION_OCCUPANCY = 0.9
+# Floor so degenerate launches still make progress.
+_MIN_UTILIZATION = 0.02
+# Fixed per-kernel ramp (tail effects, instruction fetch): small relative to
+# launch latency, which the runtime accounts separately.
+_KERNEL_RAMP = 1.0e-6
+# Minimum latency of one wave of thread blocks (dependent DRAM round trips);
+# kernels launching hundreds of waves of tiny blocks pay this pipeline floor
+# (the Fig 6a "750,000 blocks of 32 threads" pathology).
+_WAVE_LATENCY = 0.5e-6
+
+
+@dataclasses.dataclass(frozen=True)
+class KernelCostInputs:
+    """Everything the cost model needs to price one kernel.
+
+    Attributes:
+        grid_size: Thread blocks launched.
+        block_size: Threads per block.
+        bytes_read: Bytes loaded from global memory (post data-reuse).
+        bytes_written: Bytes stored to global memory.
+        fp_instructions: FP instructions executed, *including* any
+            redundancy the codegen strategy introduced.
+        regs_per_thread: Register footprint per thread.
+        smem_per_block: Shared-memory footprint per block.
+        num_global_barriers: Device-wide software barriers inside the
+            kernel (AStitch global scheme).
+        num_atomic_rounds: Cross-block atomic reduction rounds (task
+            splitting).
+    """
+
+    grid_size: int
+    block_size: int
+    bytes_read: float
+    bytes_written: float
+    fp_instructions: float
+    regs_per_thread: int = 32
+    smem_per_block: int = 0
+    num_global_barriers: int = 0
+    num_atomic_rounds: int = 0
+
+
+class KernelCostModel:
+    """Prices kernels on a given device and emits nvprof-style counters."""
+
+    def __init__(self, spec: GPUSpec):
+        self.spec = spec
+
+    def memory_time(self, inputs: KernelCostInputs, occ: float) -> float:
+        """DRAM transfer time under occupancy-derated bandwidth."""
+        utilization = max(_MIN_UTILIZATION,
+                          min(1.0, occ / _BANDWIDTH_SATURATION_OCCUPANCY))
+        bandwidth = self.spec.dram_bandwidth * utilization
+        return (inputs.bytes_read + inputs.bytes_written) / bandwidth
+
+    def compute_time(self, inputs: KernelCostInputs,
+                     sm_eff: float, occ: float) -> float:
+        """FP execution time under SM-coverage-derated throughput."""
+        coverage = max(_MIN_UTILIZATION, sm_eff)
+        # Per-SM issue also needs enough warps; fold occupancy in softly.
+        issue = max(_MIN_UTILIZATION, min(1.0, occ / 0.25))
+        throughput = self.spec.fp32_throughput * coverage * issue
+        return inputs.fp_instructions / throughput
+
+    def price(self, inputs: KernelCostInputs) -> PerfCounters:
+        """Produce the counters (including duration) for one kernel.
+
+        Raises:
+            ValueError: If a global barrier is requested with more blocks
+                than one wave can host (would deadlock on hardware).
+        """
+        spec = self.spec
+        occ = achieved_occupancy(spec, inputs.grid_size, inputs.block_size,
+                                 inputs.regs_per_thread,
+                                 inputs.smem_per_block)
+        sm_eff = sm_efficiency(spec, inputs.grid_size, inputs.block_size,
+                               inputs.regs_per_thread,
+                               inputs.smem_per_block)
+
+        mem_t = self.memory_time(inputs, occ)
+        comp_t = self.compute_time(inputs, sm_eff, occ)
+        wave = occupancy(spec, inputs.block_size, inputs.regs_per_thread,
+                         inputs.smem_per_block).blocks_per_wave
+        wave_floor = math.ceil(inputs.grid_size / wave) * _WAVE_LATENCY
+        time = max(mem_t, comp_t, wave_floor) + _KERNEL_RAMP
+
+        if inputs.num_global_barriers:
+            time += inputs.num_global_barriers * global_barrier_latency(
+                spec, inputs.grid_size)
+        if inputs.num_atomic_rounds:
+            time += inputs.num_atomic_rounds * spec.atomic_latency
+
+        tx = spec.dram_transaction_bytes
+        return PerfCounters(
+            dram_read_transactions=math.ceil(inputs.bytes_read / tx),
+            dram_write_transactions=math.ceil(inputs.bytes_written / tx),
+            inst_fp_32=int(round(inputs.fp_instructions)),
+            achieved_occupancy=occ,
+            sm_efficiency=sm_eff,
+            duration=time,
+        )
+
+    def explain(self, inputs: KernelCostInputs) -> dict[str, float | str]:
+        """Break one kernel's price into its components.
+
+        Returns a dict with the three roofline candidates (``memory_time``,
+        ``compute_time``, ``wave_floor``), the additive terms
+        (``barrier_time``, ``atomic_time``), the utilization inputs
+        (``achieved_occupancy``, ``sm_efficiency``) and ``bound_by`` —
+        which candidate set the kernel's time.
+        """
+        spec = self.spec
+        occ = achieved_occupancy(spec, inputs.grid_size, inputs.block_size,
+                                 inputs.regs_per_thread,
+                                 inputs.smem_per_block)
+        sm_eff = sm_efficiency(spec, inputs.grid_size, inputs.block_size,
+                               inputs.regs_per_thread,
+                               inputs.smem_per_block)
+        mem_t = self.memory_time(inputs, occ)
+        comp_t = self.compute_time(inputs, sm_eff, occ)
+        wave = occupancy(spec, inputs.block_size, inputs.regs_per_thread,
+                         inputs.smem_per_block).blocks_per_wave
+        wave_floor = math.ceil(inputs.grid_size / wave) * _WAVE_LATENCY
+        barrier_t = (inputs.num_global_barriers
+                     * global_barrier_latency(spec, inputs.grid_size)
+                     if inputs.num_global_barriers else 0.0)
+        atomic_t = inputs.num_atomic_rounds * spec.atomic_latency
+        candidates = {"memory": mem_t, "compute": comp_t,
+                      "wave_floor": wave_floor}
+        bound_by = max(candidates, key=candidates.get)
+        return {
+            "memory_time": mem_t,
+            "compute_time": comp_t,
+            "wave_floor": wave_floor,
+            "barrier_time": barrier_t,
+            "atomic_time": atomic_t,
+            "achieved_occupancy": occ,
+            "sm_efficiency": sm_eff,
+            "bound_by": bound_by,
+        }
+
+    def library_kernel_time(self, flops: float, bytes_moved: float) -> float:
+        """Price a compute-intensive library call (cuBLAS/cuDNN path).
+
+        Vendor libraries run near roofline; assume 70% of peak.
+        """
+        comp_t = flops / (self.spec.fp32_throughput * 0.7)
+        mem_t = bytes_moved / (self.spec.dram_bandwidth * 0.7)
+        return max(comp_t, mem_t) + _KERNEL_RAMP

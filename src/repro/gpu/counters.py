@@ -1,0 +1,83 @@
+"""nvprof-style performance counters.
+
+The evaluation section of the paper reports ``dram_read_transactions``,
+``dram_write_transactions``, ``inst_fp_32``, ``achieved_occupancy`` and
+``sm_efficiency``; this module defines the record the cost model fills in
+for every simulated kernel and the aggregation helpers the benches use.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Iterable
+
+
+@dataclasses.dataclass
+class PerfCounters:
+    """Counters for one kernel execution (or an aggregate of many).
+
+    Attributes:
+        dram_read_transactions: 32-byte DRAM read sectors.
+        dram_write_transactions: 32-byte DRAM write sectors.
+        inst_fp_32: FP32 instructions executed (includes any redundant
+            recomputation a compiler's codegen introduced).
+        achieved_occupancy: Warp residency in [0, 1] (averaged by time when
+            aggregated).
+        sm_efficiency: Busy-SM fraction in [0, 1] (averaged by time when
+            aggregated).
+        duration: Kernel time in seconds, excluding launch overhead.
+    """
+
+    dram_read_transactions: int = 0
+    dram_write_transactions: int = 0
+    inst_fp_32: int = 0
+    achieved_occupancy: float = 0.0
+    sm_efficiency: float = 0.0
+    duration: float = 0.0
+
+    @property
+    def dram_total_transactions(self) -> int:
+        return self.dram_read_transactions + self.dram_write_transactions
+
+
+def aggregate(counter_list: Iterable[PerfCounters]) -> PerfCounters:
+    """Sum additive counters; time-weight the utilization metrics."""
+    counter_list = list(counter_list)
+    total = PerfCounters()
+    for c in counter_list:
+        total.dram_read_transactions += c.dram_read_transactions
+        total.dram_write_transactions += c.dram_write_transactions
+        total.inst_fp_32 += c.inst_fp_32
+        total.duration += c.duration
+    if total.duration > 0:
+        total.achieved_occupancy = sum(
+            c.achieved_occupancy * c.duration for c in counter_list
+        ) / total.duration
+        total.sm_efficiency = sum(
+            c.sm_efficiency * c.duration for c in counter_list
+        ) / total.duration
+    elif counter_list:
+        total.achieved_occupancy = sum(
+            c.achieved_occupancy for c in counter_list) / len(counter_list)
+        total.sm_efficiency = sum(
+            c.sm_efficiency for c in counter_list) / len(counter_list)
+    return total
+
+
+def top_time_fraction(counter_list: Iterable[PerfCounters],
+                      fraction: float = 0.8) -> list[PerfCounters]:
+    """The kernels covering the top ``fraction`` of total time.
+
+    The paper's parallelism figures (Fig 14/15/16) report only the kernels
+    covering the top 80% of memory-intensive execution time.
+    """
+    ordered = sorted(counter_list, key=lambda c: c.duration, reverse=True)
+    budget = fraction * sum(c.duration for c in ordered)
+    picked: list[PerfCounters] = []
+    spent = 0.0
+    for c in ordered:
+        if spent >= budget and picked:
+            break
+        picked.append(c)
+        spent += c.duration
+    return picked

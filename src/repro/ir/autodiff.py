@@ -1,0 +1,264 @@
+"""Reverse-mode automatic differentiation over the IR.
+
+``append_gradients`` extends a graph in place with the backward pass of
+a loss with respect to chosen nodes, using only the IR's own operator
+vocabulary — so the gradients *are* memory-intensive subgraphs that the
+compilers under study fuse and stitch like any other (which is exactly
+where training workloads get their element-wise + reduce tails).
+
+Vector-Jacobian rules follow the interpreter's numeric definitions,
+including its guarded forms (``log(|x|+eps)``, ``power(|x|+eps, y)``,
+``sqrt(|x|)``), so finite-difference checks validate against the same
+function the forward pass computes.
+
+Compute-intensive ops: ``dot`` and ``batch_matmul`` differentiate into
+transposes + more library calls (as real frameworks do); the opaque
+surrogates (``convolution``, ``rnn_cell``) are treated as constants when
+``stop_at_opaque`` is set, otherwise they raise.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.ir.builder import GraphBuilder
+from repro.ir.graph import Graph, Node
+from repro.ir.ops import OpKind, ReduceKind
+
+_EPS = 1e-6
+
+
+class UnsupportedGradientError(NotImplementedError):
+    """The graph contains an op with no gradient rule."""
+
+
+def _ones_like(b: GraphBuilder, node: Node) -> Node:
+    return b.scalar_like(1.0, node)
+
+
+def _sign(b: GraphBuilder, x: Node) -> Node:
+    positive = b.compare_gt(x, b.scalar_like(0.0, x))
+    return b.select(positive, b.scalar_like(1.0, x),
+                    b.scalar_like(-1.0, x))
+
+
+def _guarded_abs(b: GraphBuilder, x: Node) -> Node:
+    return b.add_scalar(b.abs(x), _EPS)
+
+
+def _unbroadcast(b: GraphBuilder, grad: Node, node: Node) -> Node:
+    """Reduce ``grad`` back to the shape of broadcast input ``node``."""
+    dims = set(node.broadcast_dims)
+    collapse = tuple(axis for axis in range(grad.shape.rank)
+                     if axis not in dims)
+    if not collapse:
+        return grad
+    return b.reduce_sum(grad, axes=collapse)
+
+
+def _elementwise_vjp(b: GraphBuilder, node: Node, grad: Node,
+                     ) -> list[Node | None]:
+    """Operand gradients for element-wise ops (one entry per operand)."""
+    kind = node.kind
+    a = node.operands[0] if node.operands else None
+    if kind is OpKind.ADD:
+        return [grad, grad]
+    if kind is OpKind.SUBTRACT:
+        return [grad, b.negate(grad)]
+    if kind is OpKind.MULTIPLY:
+        lhs, rhs = node.operands
+        return [b.multiply(grad, rhs), b.multiply(grad, lhs)]
+    if kind is OpKind.DIVIDE:
+        lhs, rhs = node.operands
+        d_lhs = b.divide(grad, rhs)
+        d_rhs = b.negate(b.divide(b.multiply(grad, node), rhs))
+        return [d_lhs, d_rhs]
+    if kind in (OpKind.MAXIMUM, OpKind.MINIMUM):
+        lhs, rhs = node.operands
+        lhs_wins = b.compare_gt(lhs, rhs)
+        if kind is OpKind.MINIMUM:
+            lhs_wins = b.subtract(b.scalar_like(1.0, lhs_wins), lhs_wins)
+        zero = b.scalar_like(0.0, grad)
+        return [b.select(lhs_wins, grad, zero),
+                b.select(lhs_wins, zero, grad)]
+    if kind is OpKind.POWER:
+        base, exponent = node.operands
+        guarded = _guarded_abs(b, base)
+        d_base = b.multiply(
+            b.multiply(grad, exponent),
+            b.multiply(b.divide(node, guarded), _sign(b, base)))
+        d_exp = b.multiply(grad, b.multiply(node, b.log(base)))
+        return [d_base, d_exp]
+    if kind is OpKind.SELECT:
+        pred, on_true, on_false = node.operands
+        zero = b.scalar_like(0.0, grad)
+        return [None,
+                b.select(pred, grad, zero),
+                b.select(pred, zero, grad)]
+    if kind is OpKind.COMPARE_GT:
+        return [None, None]
+    if kind is OpKind.NEGATE:
+        return [b.negate(grad)]
+    if kind is OpKind.ABS:
+        return [b.multiply(grad, _sign(b, a))]
+    if kind is OpKind.RELU:
+        positive = b.compare_gt(a, b.scalar_like(0.0, a))
+        return [b.select(positive, grad, b.scalar_like(0.0, grad))]
+    if kind is OpKind.EXP:
+        return [b.multiply(grad, node)]
+    if kind is OpKind.LOG:
+        # forward: log(|x| + eps)
+        return [b.multiply(grad, b.divide(_sign(b, a),
+                                          _guarded_abs(b, a)))]
+    if kind is OpKind.TANH:
+        one = b.scalar_like(1.0, node)
+        return [b.multiply(grad,
+                           b.subtract(one, b.multiply(node, node)))]
+    if kind is OpKind.SQRT:
+        # forward: sqrt(|x|)
+        denom = b.add_scalar(b.mul_scalar(node, 2.0), _EPS)
+        return [b.multiply(grad, b.divide(_sign(b, a), denom))]
+    if kind is OpKind.RSQRT:
+        # forward: (|x| + eps)^(-1/2); dy/dx = -y^3 / 2 * sign(x)
+        cubed = b.multiply(node, b.multiply(node, node))
+        return [b.multiply(grad, b.mul_scalar(
+            b.multiply(cubed, _sign(b, a)), -0.5))]
+    if kind is OpKind.SIGMOID:
+        one = b.scalar_like(1.0, node)
+        return [b.multiply(grad,
+                           b.multiply(node, b.subtract(one, node)))]
+    if kind is OpKind.ERF:
+        scale = 2.0 / math.sqrt(math.pi)
+        return [b.mul_scalar(
+            b.multiply(grad, b.exp(b.negate(b.multiply(a, a)))), scale)]
+    if kind is OpKind.GELU:
+        # d/dx of the tanh approximation the interpreter computes.
+        c = math.sqrt(2.0 / math.pi)
+        u = b.mul_scalar(
+            b.add(a, b.mul_scalar(b.multiply(a, b.multiply(a, a)),
+                                  0.044715)), c)
+        t = b.tanh(u)
+        one = b.scalar_like(1.0, a)
+        sech2 = b.subtract(one, b.multiply(t, t))
+        du = b.mul_scalar(
+            b.add(one, b.mul_scalar(b.multiply(a, a), 3 * 0.044715)), c)
+        inner = b.add(b.add(one, t),
+                      b.multiply(a, b.multiply(sech2, du)))
+        return [b.multiply(grad, b.mul_scalar(inner, 0.5))]
+    raise UnsupportedGradientError(f"no gradient rule for {kind}")
+
+
+def _reduce_vjp(b: GraphBuilder, node: Node, grad: Node) -> Node:
+    operand = node.operands[0]
+    axes = node.reduce_axes
+    keep_axes = tuple(axis for axis in range(operand.shape.rank)
+                      if axis not in axes)
+    spread = b.broadcast(grad, operand.shape, dims=keep_axes)
+    kind = node.reduce_kind
+    if kind is ReduceKind.SUM:
+        return spread
+    if kind is ReduceKind.MEAN:
+        count = 1
+        for axis in axes:
+            count *= operand.shape.dim(axis)
+        return b.mul_scalar(spread, 1.0 / count)
+    if kind in (ReduceKind.MAX, ReduceKind.MIN):
+        winners = b.broadcast(node, operand.shape, dims=keep_axes)
+        if kind is ReduceKind.MAX:
+            losing = b.compare_gt(winners, operand)
+        else:
+            losing = b.compare_gt(operand, winners)
+        zero = b.scalar_like(0.0, spread)
+        return b.select(losing, zero, spread)
+    raise UnsupportedGradientError(f"no gradient rule for reduce "
+                                   f"{kind}")
+
+
+def _matmul_vjp(b: GraphBuilder, node: Node, grad: Node,
+                ) -> list[Node]:
+    lhs, rhs = node.operands
+    if node.kind is OpKind.DOT:
+        d_lhs = b.dot(grad, b.transpose(rhs, (1, 0)))
+        d_rhs = b.dot(b.transpose(lhs, (1, 0)), grad)
+        return [d_lhs, d_rhs]
+    d_lhs = b.batch_matmul(grad, b.transpose(rhs, (0, 2, 1)))
+    d_rhs = b.batch_matmul(b.transpose(lhs, (0, 2, 1)), grad)
+    return [d_lhs, d_rhs]
+
+
+def append_gradients(graph: Graph, loss: Node, wrt: list[Node],
+                     stop_at_opaque: bool = True) -> dict[Node, Node]:
+    """Append the backward pass of ``loss`` to ``graph``.
+
+    Args:
+        graph: Graph to extend in place.
+        loss: Node to differentiate (seeded with ones; usually scalar).
+        wrt: Nodes whose gradients are wanted (typically parameters).
+        stop_at_opaque: Treat convolution/rnn_cell as constants instead
+            of raising.
+
+    Returns:
+        Mapping from each ``wrt`` node to its gradient node.  ``wrt``
+        nodes the loss does not depend on get a zeros gradient.
+
+    Raises:
+        UnsupportedGradientError: On an op without a rule (unless opaque
+            and ``stop_at_opaque``).
+        ValueError: If ``loss`` or a ``wrt`` node is foreign to the
+            graph.
+    """
+    for node in [loss, *wrt]:
+        if node not in graph:
+            raise ValueError(f"{node.name} does not belong to the graph")
+
+    b = GraphBuilder.wrap(graph)
+    adjoints: dict[Node, Node] = {loss: _ones_like(b, loss)}
+    relevant = graph.reachable_from([loss])
+
+    def accumulate(node: Node, grad: Node) -> None:
+        existing = adjoints.get(node)
+        adjoints[node] = grad if existing is None \
+            else b.add(existing, grad)
+
+    ordered = [n for n in graph.topological_order() if n in relevant]
+    for node in reversed(ordered):
+        grad = adjoints.get(node)
+        if grad is None:
+            continue
+        kind = node.kind
+        if kind in (OpKind.PARAMETER, OpKind.CONSTANT):
+            continue
+        if kind is OpKind.REDUCE:
+            accumulate(node.operands[0], _reduce_vjp(b, node, grad))
+        elif kind is OpKind.BROADCAST:
+            accumulate(node.operands[0], _unbroadcast(b, grad, node))
+        elif kind is OpKind.RESHAPE:
+            accumulate(node.operands[0],
+                       b.reshape(grad, node.operands[0].shape))
+        elif kind is OpKind.TRANSPOSE:
+            permutation = tuple(node.attrs["permutation"])
+            inverse = [0] * len(permutation)
+            for i, p in enumerate(permutation):
+                inverse[p] = i
+            accumulate(node.operands[0], b.transpose(grad, inverse))
+        elif kind in (OpKind.DOT, OpKind.BATCH_MATMUL):
+            for operand, piece in zip(node.operands,
+                                      _matmul_vjp(b, node, grad)):
+                accumulate(operand, piece)
+        elif kind in (OpKind.CONVOLUTION, OpKind.RNN_CELL):
+            if not stop_at_opaque:
+                raise UnsupportedGradientError(
+                    f"{kind} has no gradient (opaque library surrogate)")
+        else:
+            pieces = _elementwise_vjp(b, node, grad)
+            for operand, piece in zip(node.operands, pieces):
+                if piece is not None:
+                    accumulate(operand, piece)
+
+    result: dict[Node, Node] = {}
+    for node in wrt:
+        grad = adjoints.get(node)
+        if grad is None:
+            grad = b.scalar_like(0.0, node)
+        result[node] = grad
+    return result

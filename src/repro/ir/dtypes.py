@@ -1,0 +1,62 @@
+"""Element data types.
+
+Only the properties the cost model needs are carried: the byte width (drives
+off-chip memory traffic) and the NumPy dtype used by the reference
+interpreter and the kernel executor.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+
+@dataclasses.dataclass(frozen=True)
+class DType:
+    """An element type understood by the IR and the GPU cost model.
+
+    Attributes:
+        name: Canonical short name, e.g. ``"f32"``.
+        nbytes: Storage width in bytes; determines memory transactions.
+        np_dtype: NumPy dtype string used for execution.
+        is_floating: Whether FP instructions are issued for arithmetic on it.
+    """
+
+    name: str
+    nbytes: int
+    np_dtype: str
+    is_floating: bool = True
+
+    def to_numpy(self) -> np.dtype:
+        """Return the NumPy dtype object for this element type."""
+        return np.dtype(self.np_dtype)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+F16 = DType("f16", 2, "float16")
+F32 = DType("f32", 4, "float32")
+# TF32 occupies a full 32-bit slot in memory; it only changes math throughput.
+TF32 = DType("tf32", 4, "float32")
+F64 = DType("f64", 8, "float64")
+I32 = DType("i32", 4, "int32", is_floating=False)
+I64 = DType("i64", 8, "int64", is_floating=False)
+PRED = DType("pred", 1, "bool", is_floating=False)
+
+_BY_NAME = {t.name: t for t in (F16, F32, TF32, F64, I32, I64, PRED)}
+
+
+def dtype_from_name(name: str) -> DType:
+    """Look up a dtype by its canonical name.
+
+    Raises:
+        KeyError: If ``name`` is not a known dtype.
+    """
+    return _BY_NAME[name]
+
+
+def all_dtypes() -> tuple[DType, ...]:
+    """Return every dtype the IR understands, in a stable order."""
+    return tuple(_BY_NAME.values())

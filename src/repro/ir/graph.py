@@ -1,0 +1,272 @@
+"""Computation graph.
+
+A :class:`Graph` is a DAG of :class:`Node` objects in SSA form: every node
+names its operator kind, its operand nodes, its output shape and dtype, and
+any operator-specific attributes (reduce axes, broadcast dims, ...).  The
+graph tracks users so compilers can walk both directions, and exposes the
+topological order every pass in this repository iterates in.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Iterable, Iterator
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.ir.dtypes import DType, F32
+from repro.ir.ops import (
+    OpKind,
+    ReduceKind,
+    is_compute_intensive,
+    is_memory_intensive,
+    operator,
+)
+from repro.ir.shape import Shape
+
+
+@dataclasses.dataclass(eq=False)
+class Node:
+    """A single operator instance inside a :class:`Graph`.
+
+    Nodes compare by identity; ``node_id`` is unique within the owning graph
+    and stable under graph mutation.
+    """
+
+    node_id: int
+    name: str
+    kind: OpKind
+    operands: list["Node"]
+    shape: Shape
+    dtype: DType = F32
+    attrs: dict[str, Any] = dataclasses.field(default_factory=dict)
+
+    @property
+    def num_elements(self) -> int:
+        return self.shape.num_elements
+
+    @property
+    def reduce_axes(self) -> tuple[int, ...]:
+        """Axes collapsed by a REDUCE node."""
+        return tuple(self.attrs["axes"])
+
+    @property
+    def reduce_kind(self) -> ReduceKind:
+        return self.attrs["reduce_kind"]
+
+    @property
+    def broadcast_dims(self) -> tuple[int, ...]:
+        """Output axes each input axis of a BROADCAST maps to."""
+        return tuple(self.attrs["broadcast_dims"])
+
+    def is_row_reduce(self) -> bool:
+        """True when this REDUCE collapses the contiguous innermost axes."""
+        if self.kind is not OpKind.REDUCE:
+            return False
+        return self.operands[0].shape.innermost_is(self.reduce_axes)
+
+    def is_column_reduce(self) -> bool:
+        """True when this REDUCE collapses non-innermost (strided) axes."""
+        return self.kind is OpKind.REDUCE and not self.is_row_reduce()
+
+    def is_memory_intensive(self) -> bool:
+        return is_memory_intensive(self.kind)
+
+    def is_compute_intensive(self) -> bool:
+        return is_compute_intensive(self.kind)
+
+    @property
+    def fp_cost(self) -> float:
+        """FP instructions per produced element (cost-model input)."""
+        return operator(self.kind).fp_cost
+
+    def __repr__(self) -> str:
+        return f"{self.name}{self.shape!r}"
+
+
+class Graph:
+    """A directed acyclic computation graph.
+
+    Nodes are created through the ``add`` method (or, more conveniently,
+    through :class:`repro.ir.builder.GraphBuilder`) and are appended in a
+    valid topological order by construction — operands must already be graph
+    members.
+    """
+
+    def __init__(self, name: str = "graph"):
+        self.name = name
+        self._nodes: list[Node] = []
+        self._users: dict[Node, list[Node]] = {}
+        self._outputs: list[Node] = []
+        self._next_id = 0
+        self._name_counts: dict[str, int] = {}
+
+    # -- construction ----------------------------------------------------------
+
+    def add(self,
+            kind: OpKind,
+            operands: Iterable[Node] = (),
+            shape: Shape | Iterable[int] = (),
+            dtype: DType = F32,
+            name: Optional[str] = None,
+            **attrs: Any) -> Node:
+        """Append a node.
+
+        Args:
+            kind: Operator kind.
+            operands: Producer nodes; must already belong to this graph.
+            shape: Output shape.
+            dtype: Output element type.
+            name: Optional base name; a unique suffix is appended.
+            **attrs: Operator-specific attributes (``axes``, ``reduce_kind``,
+                ``broadcast_dims``, ``value``, ``permutation``, ...).
+
+        Returns:
+            The newly created node.
+
+        Raises:
+            ValueError: If an operand is foreign or the arity is wrong.
+        """
+        operands = list(operands)
+        for op_node in operands:
+            if op_node not in self._users:
+                raise ValueError(
+                    f"operand {op_node.name} does not belong to graph "
+                    f"{self.name}")
+        expected_arity = operator(kind).arity
+        if expected_arity >= 0 and len(operands) != expected_arity:
+            raise ValueError(
+                f"{kind.value} expects {expected_arity} operands, got "
+                f"{len(operands)}")
+        node = Node(
+            node_id=self._next_id,
+            name=self._unique_name(name or kind.value),
+            kind=kind,
+            operands=operands,
+            shape=Shape.of(shape),
+            dtype=dtype,
+            attrs=dict(attrs),
+        )
+        self._next_id += 1
+        self._nodes.append(node)
+        self._users[node] = []
+        for op_node in operands:
+            self._users[op_node].append(node)
+        return node
+
+    def _unique_name(self, base: str) -> str:
+        count = self._name_counts.get(base, 0)
+        self._name_counts[base] = count + 1
+        return f"{base}.{count}" if count else base
+
+    def mark_output(self, node: Node) -> None:
+        """Register ``node`` as a graph output (kept live by all compilers)."""
+        if node not in self._users:
+            raise ValueError(f"{node.name} does not belong to graph")
+        if node not in self._outputs:
+            self._outputs.append(node)
+
+    # -- accessors ---------------------------------------------------------------
+
+    @property
+    def nodes(self) -> tuple[Node, ...]:
+        """All nodes, in (valid topological) insertion order."""
+        return tuple(self._nodes)
+
+    @property
+    def outputs(self) -> tuple[Node, ...]:
+        """Graph outputs.  Defaults to sink nodes when none were marked."""
+        if self._outputs:
+            return tuple(self._outputs)
+        return tuple(n for n in self._nodes if not self._users[n])
+
+    @property
+    def parameters(self) -> tuple[Node, ...]:
+        return tuple(n for n in self._nodes if n.kind is OpKind.PARAMETER)
+
+    def users(self, node: Node) -> tuple[Node, ...]:
+        """Consumers of ``node``."""
+        return tuple(self._users[node])
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._users
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._nodes)
+
+    # -- analyses ---------------------------------------------------------------
+
+    def topological_order(self) -> tuple[Node, ...]:
+        """A topological order (insertion order is one by construction)."""
+        return self.nodes
+
+    def memory_intensive_nodes(self) -> tuple[Node, ...]:
+        return tuple(n for n in self._nodes if n.is_memory_intensive())
+
+    def compute_intensive_nodes(self) -> tuple[Node, ...]:
+        return tuple(n for n in self._nodes if n.is_compute_intensive())
+
+    def reachable_from(self, roots: Iterable[Node]) -> set[Node]:
+        """Transitive operand closure of ``roots`` (roots included)."""
+        seen: set[Node] = set()
+        stack = list(roots)
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(node.operands)
+        return seen
+
+    def validate(self) -> None:
+        """Check structural invariants.
+
+        Raises:
+            ValueError: On dangling operands, arity violations, or shape
+                inconsistencies for broadcast/reduce nodes.
+        """
+        member = set(self._nodes)
+        for node in self._nodes:
+            for op_node in node.operands:
+                if op_node not in member:
+                    raise ValueError(
+                        f"{node.name} references foreign node {op_node.name}")
+            if node.kind is OpKind.REDUCE:
+                in_shape = node.operands[0].shape
+                expected = in_shape.drop_axes(node.reduce_axes)
+                if expected != node.shape:
+                    raise ValueError(
+                        f"{node.name}: reduce of {in_shape!r} over axes "
+                        f"{node.reduce_axes} should give {expected!r}, "
+                        f"declared {node.shape!r}")
+            if node.kind is OpKind.BROADCAST:
+                from repro.ir.shape import broadcast_result_shape
+                broadcast_result_shape(node.operands[0].shape, node.shape,
+                                       node.broadcast_dims)
+
+    def stats(self) -> dict[str, int]:
+        """Coarse op-census used by Fig 1-style reporting."""
+        mem = len(self.memory_intensive_nodes())
+        comp = len(self.compute_intensive_nodes())
+        return {
+            "nodes": len(self._nodes),
+            "memory_intensive": mem,
+            "compute_intensive": comp,
+            "parameters": len(self.parameters),
+        }
+
+    def __repr__(self) -> str:
+        return (f"Graph({self.name!r}, nodes={len(self._nodes)}, "
+                f"outputs={len(self.outputs)})")
+
+
+def constant_value(node: Node) -> np.ndarray:
+    """Materialize the payload of a CONSTANT node as a NumPy array."""
+    if node.kind is not OpKind.CONSTANT:
+        raise ValueError(f"{node.name} is not a constant")
+    value = np.asarray(node.attrs["value"], dtype=node.dtype.to_numpy())
+    return np.broadcast_to(value, node.shape.dims)

@@ -1,0 +1,201 @@
+"""NumPy reference interpreter.
+
+This is the correctness oracle for every compiler in the repository: a
+compiled module — whatever kernels it formed — must produce the same values
+as :func:`evaluate` on the same inputs.
+
+Compute-intensive dividers (dot / batch-matmul) use real NumPy matmul;
+convolution and RNN cells use deterministic dense surrogates, which is fine
+because all compilers dispatch them to the same "vendor library" routine and
+never fuse into them.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Optional
+
+import numpy as np
+
+from repro.ir.graph import Graph, Node, constant_value
+from repro.ir.ops import OpKind, ReduceKind
+
+
+def _erf(x: np.ndarray) -> np.ndarray:
+    """Vectorized error function (Abramowitz & Stegun 7.1.26)."""
+    sign = np.sign(x)
+    ax = np.abs(x)
+    t = 1.0 / (1.0 + 0.3275911 * ax)
+    poly = t * (0.254829592 + t * (-0.284496736 + t *
+                (1.421413741 + t * (-1.453152027 + t * 1.061405429))))
+    return sign * (1.0 - poly * np.exp(-ax * ax))
+
+
+def apply_broadcast(value: np.ndarray, out_dims: tuple[int, ...],
+                    broadcast_dims: tuple[int, ...]) -> np.ndarray:
+    """Apply an XLA-style broadcast to ``value``.
+
+    ``broadcast_dims[i]`` names the output axis input axis ``i`` maps to;
+    all other output axes replicate.
+    """
+    expanded_shape = [1] * len(out_dims)
+    for in_axis, out_axis in enumerate(broadcast_dims):
+        expanded_shape[out_axis] = value.shape[in_axis]
+    reshaped = value.reshape(expanded_shape)
+    return np.broadcast_to(reshaped, out_dims)
+
+
+def _reduce(value: np.ndarray, axes: tuple[int, ...],
+            kind: ReduceKind) -> np.ndarray:
+    axes_t = tuple(axes)
+    if kind is ReduceKind.SUM:
+        return value.sum(axis=axes_t)
+    if kind is ReduceKind.MAX:
+        return value.max(axis=axes_t)
+    if kind is ReduceKind.MIN:
+        return value.min(axis=axes_t)
+    if kind is ReduceKind.MEAN:
+        return value.mean(axis=axes_t)
+    if kind is ReduceKind.PROD:
+        return value.prod(axis=axes_t)
+    raise ValueError(f"unknown reduce kind {kind}")
+
+
+def library_call(node: Node, inputs: list[np.ndarray]) -> np.ndarray:
+    """Execute a compute-intensive divider the way cuBLAS/cuDNN would.
+
+    Dot and batch-matmul are exact; convolution and RNN cells are opaque
+    deterministic surrogates shared by every compiler.
+    """
+    if node.kind is OpKind.DOT:
+        return inputs[0] @ inputs[1]
+    if node.kind is OpKind.BATCH_MATMUL:
+        return np.matmul(inputs[0], inputs[1])
+    if node.kind is OpKind.CONVOLUTION:
+        scale = float(inputs[0].mean()) * float(inputs[1].mean())
+        out = np.full(node.shape.dims, scale, dtype=inputs[0].dtype)
+        return out
+    if node.kind is OpKind.RNN_CELL:
+        state, cell_inputs, weights = inputs
+        mix = float(cell_inputs.mean()) + float(weights.mean())
+        return np.tanh(state + mix).astype(state.dtype)
+    raise ValueError(f"{node.kind} is not a library op")
+
+
+def evaluate_node(node: Node, inputs: list[np.ndarray]) -> np.ndarray:
+    """Evaluate one node given its already-computed operand values."""
+    kind = node.kind
+    if kind is OpKind.CONSTANT:
+        return constant_value(node)
+    if kind is OpKind.ADD:
+        return inputs[0] + inputs[1]
+    if kind is OpKind.SUBTRACT:
+        return inputs[0] - inputs[1]
+    if kind is OpKind.MULTIPLY:
+        return inputs[0] * inputs[1]
+    if kind is OpKind.DIVIDE:
+        return inputs[0] / inputs[1]
+    if kind is OpKind.MAXIMUM:
+        return np.maximum(inputs[0], inputs[1])
+    if kind is OpKind.MINIMUM:
+        return np.minimum(inputs[0], inputs[1])
+    if kind is OpKind.POWER:
+        # Clamp the base away from zero so gradients of |x|^y stay finite.
+        return np.power(np.abs(inputs[0]) + 1e-6, inputs[1])
+    if kind is OpKind.COMPARE_GT:
+        return (inputs[0] > inputs[1]).astype(inputs[0].dtype)
+    if kind is OpKind.SELECT:
+        return np.where(inputs[0] != 0, inputs[1], inputs[2])
+    if kind is OpKind.NEGATE:
+        return -inputs[0]
+    if kind is OpKind.ABS:
+        return np.abs(inputs[0])
+    if kind is OpKind.RELU:
+        return np.maximum(inputs[0], 0)
+    if kind is OpKind.EXP:
+        return np.exp(inputs[0])
+    if kind is OpKind.LOG:
+        return np.log(np.abs(inputs[0]) + 1e-6)
+    if kind is OpKind.TANH:
+        return np.tanh(inputs[0])
+    if kind is OpKind.SQRT:
+        return np.sqrt(np.abs(inputs[0]))
+    if kind is OpKind.RSQRT:
+        return 1.0 / np.sqrt(np.abs(inputs[0]) + 1e-6)
+    if kind is OpKind.SIGMOID:
+        return 1.0 / (1.0 + np.exp(-inputs[0]))
+    if kind is OpKind.ERF:
+        return _erf(inputs[0])
+    if kind is OpKind.GELU:
+        x = inputs[0]
+        return 0.5 * x * (1.0 + np.tanh(
+            math.sqrt(2.0 / math.pi) * (x + 0.044715 * x ** 3)))
+    if kind is OpKind.BROADCAST:
+        return apply_broadcast(inputs[0], node.shape.dims,
+                               node.broadcast_dims)
+    if kind is OpKind.RESHAPE:
+        return inputs[0].reshape(node.shape.dims)
+    if kind is OpKind.TRANSPOSE:
+        return inputs[0].transpose(node.attrs["permutation"])
+    if kind is OpKind.REDUCE:
+        return _reduce(inputs[0], node.reduce_axes, node.reduce_kind)
+    if node.is_compute_intensive():
+        return library_call(node, inputs)
+    raise ValueError(f"cannot evaluate {kind}")
+
+
+class Interpreter:
+    """Evaluates a whole graph in topological order."""
+
+    def __init__(self, graph: Graph):
+        self.graph = graph
+
+    def run(self, feeds: Mapping[str, np.ndarray],
+            ) -> dict[str, np.ndarray]:
+        """Evaluate the graph.
+
+        Args:
+            feeds: Parameter name -> input array.  Parameter names are the
+                *base* names given to :meth:`GraphBuilder.parameter`.
+
+        Returns:
+            Output node name -> value, for every graph output.
+
+        Raises:
+            KeyError: If a parameter has no feed.
+        """
+        values: dict[Node, np.ndarray] = {}
+        for node in self.graph.topological_order():
+            if node.kind is OpKind.PARAMETER:
+                if node.name not in feeds:
+                    raise KeyError(f"missing feed for parameter {node.name}")
+                arr = np.asarray(feeds[node.name],
+                                 dtype=node.dtype.to_numpy())
+                if arr.shape != node.shape.dims:
+                    raise ValueError(
+                        f"feed for {node.name} has shape {arr.shape}, "
+                        f"expected {node.shape.dims}")
+                values[node] = arr
+            else:
+                inputs = [values[op] for op in node.operands]
+                result = evaluate_node(node, inputs)
+                values[node] = np.asarray(result,
+                                          dtype=node.dtype.to_numpy())
+        return {out.name: values[out] for out in self.graph.outputs}
+
+
+def evaluate(graph: Graph, feeds: Mapping[str, np.ndarray],
+             ) -> dict[str, np.ndarray]:
+    """One-shot convenience wrapper around :class:`Interpreter`."""
+    return Interpreter(graph).run(feeds)
+
+
+def random_feeds(graph: Graph, seed: int = 0,
+                 scale: float = 1.0) -> dict[str, np.ndarray]:
+    """Deterministic random inputs for every parameter of ``graph``."""
+    rng = np.random.default_rng(seed)
+    feeds = {}
+    for param in graph.parameters:
+        arr = rng.standard_normal(param.shape.dims) * scale
+        feeds[param.name] = arr.astype(param.dtype.to_numpy())
+    return feeds

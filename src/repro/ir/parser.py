@@ -1,0 +1,122 @@
+"""Parser for the HLO-style text format of :mod:`repro.ir.printer`.
+
+Round-trips the printer's output so graphs can be saved, diffed and
+loaded in tests and tooling:
+
+    graph = parse_graph(format_graph(original))
+
+Array-valued constants are printed as their ``repr`` and are not
+round-trippable; scalar constants (the common case — every
+``add_scalar``/``scalar_like``) parse fine.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.ir.dtypes import dtype_from_name
+from repro.ir.graph import Graph, Node
+from repro.ir.ops import OpKind, ReduceKind
+from repro.ir.shape import Shape
+
+
+class GraphParseError(ValueError):
+    """The text is not a well-formed graph dump."""
+
+
+_HEADER = re.compile(r"^\s*(?P<name>\S+)\s*\{\s*$")
+_FOOTER = re.compile(r"^\s*\}\s*$")
+_NODE = re.compile(
+    r"^\s*(?P<root>ROOT\s+)?"
+    r"%(?P<name>[\w.\-]+)\s*=\s*"
+    r"(?P<dtype>\w+)<(?P<dims>[\d,]*)>\s*"
+    r"(?P<kind>[\w]+)\((?P<operands>[^)]*)\)"
+    r"(?P<attrs>.*)$")
+_ATTR = re.compile(r"(\w+)=((?:\([^)]*\))|(?:[^\s]+))")
+
+_KINDS = {kind.value: kind for kind in OpKind}
+_REDUCE_KINDS = {kind.value: kind for kind in ReduceKind}
+
+
+def _parse_attrs(text: str, kind: OpKind) -> dict:
+    attrs = {}
+    for name, raw in _ATTR.findall(text):
+        if kind is OpKind.REDUCE and name == "kind":
+            attrs["reduce_kind"] = _REDUCE_KINDS[raw]
+            continue
+        if kind is OpKind.BROADCAST and name == "dims":
+            attrs["broadcast_dims"] = ast.literal_eval(raw)
+            continue
+        try:
+            attrs[name] = ast.literal_eval(raw)
+        except (ValueError, SyntaxError) as error:
+            raise GraphParseError(
+                f"cannot parse attribute {name}={raw!r} (array constants "
+                f"are not round-trippable)") from error
+    return attrs
+
+
+def parse_graph(text: str) -> Graph:
+    """Parse a printer-format dump back into a :class:`Graph`.
+
+    Raises:
+        GraphParseError: On any malformed line, unknown operator,
+            undefined operand or missing braces.
+    """
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        raise GraphParseError("empty input")
+    header = _HEADER.match(lines[0])
+    if not header:
+        raise GraphParseError(f"bad header line: {lines[0]!r}")
+    if not _FOOTER.match(lines[-1]):
+        raise GraphParseError("missing closing brace")
+
+    graph = Graph(header.group("name"))
+    by_name: dict[str, Node] = {}
+    roots: list[Node] = []
+    for line in lines[1:-1]:
+        match = _NODE.match(line)
+        if not match:
+            raise GraphParseError(f"bad node line: {line!r}")
+        kind_name = match.group("kind")
+        if kind_name not in _KINDS:
+            raise GraphParseError(f"unknown operator {kind_name!r}")
+        kind = _KINDS[kind_name]
+
+        operands = []
+        operand_text = match.group("operands").strip()
+        if operand_text:
+            for ref in operand_text.split(","):
+                ref = ref.strip()
+                if not ref.startswith("%") or ref[1:] not in by_name:
+                    raise GraphParseError(f"undefined operand {ref!r}")
+                operands.append(by_name[ref[1:]])
+
+        dims = tuple(int(d) for d in match.group("dims").split(",")
+                     if d != "")
+        attrs = _parse_attrs(match.group("attrs"), kind)
+        if kind is OpKind.REDUCE:
+            attrs.setdefault("reduce_kind", ReduceKind.SUM)
+            attrs["axes"] = tuple(attrs.get("axes", ()))
+        if kind is OpKind.BROADCAST:
+            attrs["broadcast_dims"] = tuple(
+                attrs.get("broadcast_dims", ()))
+        if kind is OpKind.TRANSPOSE:
+            attrs["permutation"] = tuple(attrs.get("permutation", ()))
+
+        node = graph.add(kind, operands, Shape(dims),
+                         dtype_from_name(match.group("dtype")),
+                         name=match.group("name"), **attrs)
+        if node.name != match.group("name"):
+            raise GraphParseError(
+                f"duplicate node name {match.group('name')!r}")
+        by_name[node.name] = node
+        if match.group("root"):
+            roots.append(node)
+
+    for root in roots:
+        graph.mark_output(root)
+    graph.validate()
+    return graph

@@ -1,0 +1,66 @@
+"""HLO-style text rendering of computation graphs.
+
+A human-readable dump used by the CLI and for debugging passes:
+
+    softmax_64x64 {
+      %x = f32<64,64> parameter()
+      %reduce = f32<64> reduce(%x) axes=(1,) kind=max
+      ...
+      ROOT %divide = f32<64,64> divide(%exp, %broadcast.1)
+    }
+"""
+
+from __future__ import annotations
+
+from repro.ir.graph import Graph, Node
+from repro.ir.ops import OpKind
+
+
+def _shape_str(node: Node) -> str:
+    dims = ",".join(str(d) for d in node.shape.dims)
+    return f"{node.dtype.name}<{dims}>"
+
+
+def _attr_str(node: Node) -> str:
+    parts = []
+    if node.kind is OpKind.REDUCE:
+        parts.append(f"axes={tuple(node.reduce_axes)}")
+        parts.append(f"kind={node.reduce_kind.value}")
+    elif node.kind is OpKind.BROADCAST:
+        parts.append(f"dims={tuple(node.broadcast_dims)}")
+    elif node.kind is OpKind.TRANSPOSE:
+        parts.append(f"permutation={tuple(node.attrs['permutation'])}")
+    elif node.kind is OpKind.CONSTANT:
+        parts.append(f"value={node.attrs['value']!r}")
+    return " " + " ".join(parts) if parts else ""
+
+
+def format_node(node: Node, is_root: bool = False) -> str:
+    """One line of the dump for ``node``."""
+    operands = ", ".join(f"%{op.name}" for op in node.operands)
+    prefix = "ROOT " if is_root else ""
+    return (f"{prefix}%{node.name} = {_shape_str(node)} "
+            f"{node.kind.value}({operands}){_attr_str(node)}")
+
+
+def format_graph(graph: Graph) -> str:
+    """The whole graph as HLO-like text."""
+    outputs = set(graph.outputs)
+    lines = [f"{graph.name} {{"]
+    for node in graph.topological_order():
+        lines.append("  " + format_node(node, is_root=node in outputs))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def format_summary(graph: Graph) -> str:
+    """A one-paragraph census of the graph."""
+    stats = graph.stats()
+    mem = stats["memory_intensive"]
+    comp = stats["compute_intensive"]
+    total = mem + comp
+    share = mem / total if total else 0.0
+    return (f"{graph.name}: {stats['nodes']} nodes "
+            f"({mem} memory-intensive, {comp} compute-intensive, "
+            f"{stats['parameters']} parameters; "
+            f"{share:.0%} of kernels memory-intensive)")

@@ -1,0 +1,19 @@
+"""Execution engine and profiling.
+
+Prices a compiled module on the GPU model, producing the per-kernel
+timeline and the nvprof-style counters the paper's evaluation reports,
+split into MEM (memory-intensive kernels), compute (library calls) and
+OVERHEAD (launches, framework scheduling, memcpy) — the Fig 13 breakdown.
+"""
+
+from repro.runtime.engine import Engine, Profile, StepProfile
+from repro.runtime.amp import convert_to_amp
+from repro.runtime.jit import JitCache, JitStats
+from repro.runtime.trace import profile_to_chrome_trace, write_chrome_trace
+from repro.runtime.timeline import TimelineResult, schedule as schedule_streams
+from repro.runtime.session import Session
+
+__all__ = ["Engine", "Profile", "StepProfile", "convert_to_amp",
+           "JitCache", "JitStats",
+           "profile_to_chrome_trace", "write_chrome_trace",
+           "TimelineResult", "schedule_streams", "Session"]

@@ -1,0 +1,174 @@
+"""Module execution pricing.
+
+One iteration's time is the sum of three components (the paper does not
+explore multi-stream execution, Sec 6.1.2):
+
+* **MEM** — memory-intensive kernel durations from the cost model;
+* **compute** — compute-intensive library-call durations (roofline);
+* **OVERHEAD** — non-computation: kernel-launch latency, framework
+  scheduling (full executor cost per op in framework mode, a small
+  dispatch cost in compiled mode), and CUDA memcpy/memset activity.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.codegen.builder import kernel_cost_inputs
+from repro.codegen.kernel import Kernel, LibraryCall, MemcpyCall
+from repro.compilers.base import CompiledModule
+from repro.gpu.costmodel import KernelCostModel
+from repro.gpu.counters import PerfCounters, aggregate
+from repro.gpu.spec import GPUSpec, V100
+
+# Per-step dispatch cost of a compiled engine (stream enqueue, no full
+# framework executor round trip).
+COMPILED_DISPATCH_LATENCY = 1.5e-6
+# Launch latency that can never be hidden (driver serialization floor).
+LAUNCH_FLOOR = 1.0e-6
+
+
+def _visible_launch_overhead(launch: float, duration: float) -> float:
+    """Launch cost visible on the timeline.
+
+    CUDA streams pipeline: while a kernel runs, the host enqueues the
+    next launch, so a kernel longer than the launch latency hides the
+    following launch entirely.  Only kernels shorter than the launch
+    latency leave the GPU idle — which is exactly why launch overhead
+    dominates workloads made of thousands of microsecond kernels
+    (Transformer) but not large-batch models (BERT).
+    """
+    return max(LAUNCH_FLOOR, launch - duration)
+
+
+@dataclasses.dataclass
+class StepProfile:
+    """Timing record for one executed step.
+
+    Attributes:
+        name: Step name.
+        category: "mem" (memory-intensive kernel), "compute" (library
+            call) or "memcpy".
+        duration: Device-side execution seconds.
+        overhead: Non-computation seconds attributed to this step
+            (launch + dispatch; the whole cost for memcpys).
+        counters: nvprof counters (memory-intensive kernels only).
+    """
+
+    name: str
+    category: str
+    duration: float
+    overhead: float
+    counters: Optional[PerfCounters] = None
+
+
+@dataclasses.dataclass
+class Profile:
+    """The priced timeline of one iteration."""
+
+    module_name: str
+    graph_name: str
+    steps: list[StepProfile]
+
+    @property
+    def mem_time(self) -> float:
+        return sum(s.duration for s in self.steps if s.category == "mem")
+
+    @property
+    def compute_time(self) -> float:
+        return sum(s.duration for s in self.steps
+                   if s.category == "compute")
+
+    @property
+    def overhead_time(self) -> float:
+        return sum(s.overhead for s in self.steps)
+
+    @property
+    def total_time(self) -> float:
+        return self.mem_time + self.compute_time + self.overhead_time
+
+    @property
+    def mem_kernel_count(self) -> int:
+        return sum(1 for s in self.steps if s.category == "mem")
+
+    @property
+    def compute_kernel_count(self) -> int:
+        return sum(1 for s in self.steps if s.category == "compute")
+
+    @property
+    def memcpy_count(self) -> int:
+        return sum(1 for s in self.steps if s.category == "memcpy")
+
+    def mem_counters(self) -> list[PerfCounters]:
+        return [s.counters for s in self.steps
+                if s.category == "mem" and s.counters is not None]
+
+    def aggregate_mem_counters(self) -> PerfCounters:
+        return aggregate(self.mem_counters())
+
+
+class Engine:
+    """Prices compiled modules on a device model."""
+
+    def __init__(self, spec: GPUSpec = V100):
+        self.spec = spec
+        self.cost_model = KernelCostModel(spec)
+
+    def dispatch_overhead(self, module: CompiledModule) -> float:
+        """Per-step non-launch overhead for this module's execution mode."""
+        if module.framework_mode:
+            return self.spec.framework_op_latency
+        return COMPILED_DISPATCH_LATENCY
+
+    def launch_costs(self, module: CompiledModule) -> tuple[float, float]:
+        """(launch latency, per-step dispatch) for this module's mode."""
+        dispatch = self.dispatch_overhead(module)
+        launch = self.spec.kernel_launch_latency
+        if module.graph_replay:
+            # Captured-graph replay: one launch for the whole graph;
+            # per-node cost is a small hardware dispatch.
+            from repro.compilers.cudagraph import GRAPH_REPLAY_DISPATCH
+            launch = 0.0
+            dispatch = GRAPH_REPLAY_DISPATCH
+        return launch, dispatch
+
+    def price_step(self, step, launch: float,
+                   dispatch: float) -> StepProfile:
+        """Price a single step under the given launch/dispatch costs."""
+        if isinstance(step, Kernel):
+            counters = self.cost_model.price(kernel_cost_inputs(step))
+            return StepProfile(
+                name=step.name,
+                category="mem",
+                duration=counters.duration,
+                overhead=_visible_launch_overhead(
+                    launch, counters.duration) + dispatch,
+                counters=counters,
+            )
+        if isinstance(step, LibraryCall):
+            duration = self.cost_model.library_kernel_time(
+                step.flops(), step.bytes_moved())
+            return StepProfile(
+                name=step.name,
+                category="compute",
+                duration=duration,
+                overhead=_visible_launch_overhead(launch, duration)
+                + dispatch,
+            )
+        if isinstance(step, MemcpyCall):
+            transfer = step.nbytes / (self.spec.dram_bandwidth / 4)
+            return StepProfile(
+                name=step.name,
+                category="memcpy",
+                duration=0.0,
+                overhead=self.spec.memcpy_latency + transfer,
+            )
+        raise TypeError(f"unknown step type {type(step)}")
+
+    def run(self, module: CompiledModule) -> Profile:
+        """Price every step of one iteration."""
+        launch, dispatch = self.launch_costs(module)
+        steps = [self.price_step(step, launch, dispatch)
+                 for step in module.steps]
+        return Profile(module.compiler_name, module.graph.name, steps)

@@ -1,0 +1,92 @@
+"""User-facing execution sessions.
+
+The paper's usability pitch (Sec 5): users point TensorFlow at the
+AStitch engine and change nothing else — compilation happens behind the
+first call.  ``Session`` is that surface for this library: hand it
+graphs and feeds, it compiles each graph once (optionally through the
+retained simplification pipeline), caches the module, executes the
+numerics, and keeps the priced profiles for inspection.
+
+    session = Session()                       # AStitch on a model V100
+    outputs = session.run(graph, {"x": data})
+    print(session.profile(graph).total_time)
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+import numpy as np
+
+from repro.compilers.base import CompiledModule, Compiler
+from repro.gpu.spec import GPUSpec, V100
+from repro.ir.graph import Graph
+from repro.runtime.engine import Engine, Profile
+
+
+class Session:
+    """Compile-once, run-many execution façade."""
+
+    def __init__(self, compiler: Optional[Compiler] = None,
+                 spec: GPUSpec = V100, optimize_graphs: bool = True):
+        if compiler is None:
+            from repro.core.compiler import AStitchCompiler
+            compiler = AStitchCompiler()
+        self.compiler = compiler
+        self.spec = spec
+        self.optimize_graphs = optimize_graphs
+        self.engine = Engine(spec)
+        self._modules: dict[int, CompiledModule] = {}
+        self._profiles: dict[int, Profile] = {}
+        self.iterations = 0
+
+    def module(self, graph: Graph) -> CompiledModule:
+        """The compiled module for ``graph`` (compiling on first use)."""
+        key = id(graph)
+        cached = self._modules.get(key)
+        if cached is None:
+            if self.optimize_graphs:
+                cached = self.compiler.compile_optimized(graph, self.spec)
+            else:
+                cached = self.compiler.compile(graph, self.spec)
+            self._modules[key] = cached
+        return cached
+
+    def run(self, graph: Graph,
+            feeds: Mapping[str, np.ndarray]) -> dict[str, np.ndarray]:
+        """Execute one iteration and return the graph outputs.
+
+        Note: when graph optimization is enabled, outputs keep their
+        positions but may carry regenerated names; they are returned
+        under the *original* graph's output names.
+        """
+        module = self.module(graph)
+        raw = module.execute(feeds)
+        self.iterations += 1
+        if module.graph is graph:
+            return raw
+        renamed = {}
+        for original, compiled in zip(graph.outputs,
+                                      module.graph.outputs):
+            renamed[original.name] = raw[compiled.name]
+        return renamed
+
+    def profile(self, graph: Graph) -> Profile:
+        """The priced profile of one iteration of ``graph``."""
+        key = id(graph)
+        cached = self._profiles.get(key)
+        if cached is None:
+            cached = self.engine.run(self.module(graph))
+            self._profiles[key] = cached
+        return cached
+
+    @property
+    def compile_seconds(self) -> float:
+        """Total modeled JIT time this session has paid."""
+        return sum(m.compile_seconds for m in self._modules.values())
+
+    def __repr__(self) -> str:
+        return (f"Session(compiler={self.compiler.name}, "
+                f"device={self.spec.name}, "
+                f"graphs={len(self._modules)}, "
+                f"iterations={self.iterations})")

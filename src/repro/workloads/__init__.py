@@ -1,0 +1,25 @@
+"""Workload graph generators.
+
+Synthetic computation graphs reproducing the structure, operator mix and
+production tensor shapes of the paper's five evaluation models (Table 2):
+CRNN, ASR, BERT, Transformer and DIEN, each with the paper's inference
+and (where applicable) training batch sizes.
+"""
+
+from repro.workloads.registry import (
+    WORKLOADS,
+    WorkloadSpec,
+    inference_workloads,
+    training_workloads,
+    build,
+)
+from repro.workloads import micro
+
+__all__ = [
+    "WORKLOADS",
+    "WorkloadSpec",
+    "inference_workloads",
+    "training_workloads",
+    "build",
+    "micro",
+]

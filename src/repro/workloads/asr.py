@@ -1,0 +1,72 @@
+"""ASR workload (ESPnet-style end-to-end speech recognition).
+
+Batch-1 inference (Table 2): a convolutional subsampling front-end, a
+transformer encoder over the subsampled frames, and a CTC head — softmax
+over a large output alphabet per frame.  Batch 1 keeps every tensor
+skinny, so kernels are launch-bound and parallelism-starved, which is the
+regime where stitching and adaptive mapping pay most.
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import GraphBuilder
+from repro.ir.graph import Graph
+from repro.workloads import layers
+
+
+def build_asr(frames: int = 480, features: int = 83, hidden: int = 256,
+              num_layers: int = 12, vocab: int = 5000,
+              training: bool = False) -> Graph:
+    """Build the ASR graph.
+
+    Args:
+        frames: Input spectrogram frames (subsampled 4x by the conv
+            front-end).
+        features: Filterbank features per frame.
+        hidden: Encoder width.
+        num_layers: Transformer encoder layers.
+        vocab: CTC output alphabet size.
+        training: Append CTC-style loss and gradient tails.
+    """
+    suffix = "-train" if training else ""
+    b = GraphBuilder(f"ASR{suffix}")
+
+    spect = b.parameter("spectrogram", (frames, features))
+    normed = layers.batch_norm_inference(b, spect, "front_bn")
+    conv_filters1 = b.parameter("conv1_filters", (3, 3))
+    sub1 = b.convolution(b.relu(normed), conv_filters1,
+                         (frames // 2, hidden))
+    conv_filters2 = b.parameter("conv2_filters", (3, 3))
+    sub2 = b.convolution(b.relu(sub1), conv_filters2,
+                         (frames // 4, hidden))
+    x = layers.layer_norm(b, b.relu(sub2), "front_ln")
+
+    sub_frames = frames // 4
+    for layer in range(num_layers):
+        name = f"enc{layer}"
+        q = b.reshape(layers.dense(b, x, hidden, f"{name}_q"),
+                      (1, sub_frames, hidden))
+        k = b.reshape(layers.dense(b, x, hidden, f"{name}_k"),
+                      (1, sub_frames, hidden))
+        v = b.reshape(layers.dense(b, x, hidden, f"{name}_v"),
+                      (1, sub_frames, hidden))
+        attn = layers.scaled_dot_attention(b, q, k, v, name)
+        x = layers.layer_norm(
+            b,
+            layers.residual(b, x, b.reshape(attn, (sub_frames, hidden))),
+            f"{name}_ln1")
+        ffn = layers.gelu_ffn(b, x, 4 * hidden, f"{name}_ffn")
+        x = layers.layer_norm(b, layers.residual(b, x, ffn),
+                              f"{name}_ln2")
+
+    logits = layers.dense(b, x, vocab, "ctc_head", bias=False)
+    if training:
+        b.output(layers.log_softmax_loss(b, logits, "ctc"))
+        b.output(b.reduce_mean(layers.gradient_tail(b, x, "enc_grad"),
+                               axes=(0, 1)))
+    else:
+        probs = layers.softmax(b, logits)              # <frames/4, 5000>
+        best = b.reduce_max(probs, axes=(1,))
+        b.output(probs)
+        b.output(best)
+    return b.build()

@@ -1,0 +1,82 @@
+"""BERT (Devlin et al.) encoder workload.
+
+Production configuration from Table 2: inference batch 200, training
+batch 12.  The graph is the standard encoder stack: per layer one
+self-attention block (QKV projections, scaled-dot softmax, output
+projection, residual + layer norm) and one GELU feed-forward block with
+its residual + layer norm.  The softmax/layer-norm decompositions are
+where the memory-intensive subgraphs live.
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import GraphBuilder
+from repro.ir.graph import Graph
+from repro.workloads import layers
+
+
+def build_bert(batch: int = 200, seq: int = 64, hidden: int = 256,
+               num_layers: int = 12, ffn_dim: int = 1024, heads: int = 8,
+               training: bool = False) -> Graph:
+    """Build a BERT encoder graph.
+
+    The default width/depth is the compressed production configuration
+    ML-serving deployments use (full BERT-base is pure GEMM at batch 200;
+    the paper's Fig 1 shows its production BERT spending the majority of
+    its time in memory-intensive ops, which implies a narrow variant).
+
+    Args:
+        batch: Sentences per batch (200 inference / 12 training in the
+            paper's production configs).
+        seq: Tokens per sentence.
+        hidden: Model width.
+        num_layers: Encoder layers.
+        ffn_dim: Feed-forward inner width.
+        heads: Attention heads.
+        training: Append the loss head and per-layer gradient tails.
+    """
+    suffix = "-train" if training else ""
+    b = GraphBuilder(f"BERT{suffix}")
+    tokens = batch * seq
+
+    embeddings = b.parameter("embeddings", (tokens, hidden))
+    positions = b.parameter("positions", (seq, hidden))
+    pos = b.broadcast(b.reshape(positions, (seq * hidden,)),
+                      (batch, seq * hidden), dims=(1,))
+    pos = b.reshape(pos, (tokens, hidden))
+    x = layers.layer_norm(b, b.add(embeddings, pos), "embed_ln")
+
+    mask = b.parameter("attention_mask", (batch * heads, seq, seq))
+    head_dim = hidden // heads
+    for layer in range(num_layers):
+        name = f"l{layer}"
+        q = layers.multi_head(b, layers.dense(b, x, hidden, f"{name}_q"),
+                              batch, seq, heads)
+        k = layers.multi_head(b, layers.dense(b, x, hidden, f"{name}_k"),
+                              batch, seq, heads)
+        v = layers.multi_head(b, layers.dense(b, x, hidden, f"{name}_v"),
+                              batch, seq, heads)
+        # Additive mask before the softmax (select on padded positions).
+        kt = b.transpose(k, (0, 2, 1))
+        scores = b.batch_matmul(q, kt)
+        scaled = b.mul_scalar(scores, 1.0 / (head_dim ** 0.5))
+        masked = b.add(scaled, mask)
+        weights = layers.softmax(b, masked)
+        context = layers.merge_heads(b, b.batch_matmul(weights, v),
+                                     batch, seq, heads)
+        attn = layers.dense(b, context, hidden, f"{name}_o")
+        x = layers.layer_norm(b, layers.residual(b, x, attn),
+                              f"{name}_ln1")
+        ffn = layers.gelu_ffn(b, x, ffn_dim, f"{name}_ffn")
+        x = layers.layer_norm(b, layers.residual(b, x, ffn),
+                              f"{name}_ln2")
+        if training:
+            x = layers.gradient_tail(b, x, f"{name}_grad")
+
+    if training:
+        logits = layers.dense(b, x, 2, "classifier")
+        b.output(layers.log_softmax_loss(b, logits, "bert"))
+    else:
+        pooled = layers.dense(b, x, hidden, "pooler")
+        b.output(b.tanh(pooled))
+    return b.build()

@@ -1,0 +1,99 @@
+"""CRNN workload (Shi et al., scene-text recognition).
+
+Batch-1 inference: a VGG-style convolutional feature extractor, a
+two-layer bidirectional recurrent stage over the feature-map columns, and
+a per-frame softmax over the character alphabet.  The per-timestep
+recurrent gating at batch 1 produces hundreds of small memory-intensive
+kernels under XLA (Table 3: 986), making CRNN the paper's ablation
+case study (Table 4, Fig 15).
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import GraphBuilder
+from repro.ir.graph import Graph
+from repro.workloads import layers
+
+
+def build_crnn(time_steps: int = 26, hidden: int = 256,
+               conv_stages: int = 7, alphabet: int = 37,
+               training: bool = False) -> Graph:
+    """Build the CRNN graph.
+
+    Args:
+        time_steps: Feature-map columns fed to the recurrent stage.
+        hidden: Recurrent state width.
+        conv_stages: Convolution layers in the feature extractor.
+        alphabet: Output characters (26 letters + 10 digits + blank).
+        training: CRNN is evaluated for inference only in the paper.
+    """
+    suffix = "-train" if training else ""
+    b = GraphBuilder(f"CRNN{suffix}")
+
+    # Convolutional feature extractor.  Each stage is followed by the
+    # memory-intensive normalization subgraph production CRNNs carry:
+    # inference batch-norm (scale/shift) plus a group-normalization whose
+    # per-pixel reduction runs over a 32-wide group — a production
+    # irregular shape (many rows, tiny width) of exactly the Fig 6(a)
+    # kind that defeats XLA's block-per-row mapping.
+    x = b.parameter("image", (65536, 64))
+    channels = 64
+    pixels = 65536
+    for stage in range(conv_stages):
+        filters = b.parameter(f"conv{stage}_filters", (3, 3))
+        x = b.convolution(x, filters, (pixels, channels))
+        x = layers.batch_norm_inference(b, x, f"conv{stage}_bn")
+        grouped = b.reshape(x, (pixels * channels // 32, 32))
+        group_ss = b.reduce_sum(b.multiply(grouped, grouped), axes=(1,))
+        inv = b.rsqrt(b.add_scalar(group_ss, 1e-5))
+        normed = b.multiply(grouped,
+                            layers.broadcast_back(b, inv, grouped))
+        x = b.relu(b.reshape(normed, (pixels, channels)))
+        if stage % 2:
+            channels = min(512, channels * 2)
+            pixels = max(time_steps * 4, pixels // 2)
+
+    features = b.convolution(
+        x, b.parameter("collapse_filters", (2, 2)),
+        (time_steps, hidden))
+
+    # Two bidirectional recurrent layers over the columns.
+    sequence = features
+    for direction in ("fwd", "bwd"):
+        state = b.parameter(f"{direction}_state", (1, hidden))
+        weights = b.parameter(f"{direction}_weights",
+                              (2 * hidden, hidden))
+        outputs = []
+        for t in range(time_steps):
+            frame = b.reshape(
+                b.reduce_sum(
+                    b.multiply(sequence,
+                               layers.broadcast_back(
+                                   b,
+                                   b.reduce_max(sequence, axes=(1,)),
+                                   sequence)),
+                    axes=(1,), name=f"{direction}_sel_{t}"),
+                (1, time_steps))
+            frame = b.reshape(
+                layers.dense(b, frame, hidden,
+                             f"{direction}_proj_{t}", bias=False),
+                (1, hidden))
+            cell = b.rnn_cell(state, frame, weights,
+                              name=f"{direction}_cell_{t}")
+            state = layers.gru_gates(b, state, cell,
+                                     f"{direction}_gate_{t}")
+            outputs.append(state)
+        merged = outputs[0]
+        for out in outputs[1:]:
+            merged = b.add(merged, out)
+        sequence = b.convolution(
+            merged, b.parameter(f"{direction}_mix", (1, 1)),
+            (time_steps, hidden))
+
+    # Per-frame alphabet softmax (CTC-style decoding head).
+    logits = layers.dense(b, sequence, alphabet, "char_head")
+    probs = layers.softmax(b, logits)                  # <26, 37>
+    best = b.reduce_max(probs, axes=(1,))
+    b.output(probs)
+    b.output(best)
+    return b.build()

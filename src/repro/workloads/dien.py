@@ -1,0 +1,93 @@
+"""DIEN recommendation workload (Zhou et al.).
+
+Deep Interest Evolution Network: embedding lookups feed a GRU over the
+user-behavior sequence, an attention-gated second GRU (AUGRU), and an MLP
+head.  The production configuration runs batch 256 and contains the
+``<750000,32>`` row-reduce of Fig 6(a) — pooling candidate-item
+embeddings over the negative-sampling pool, a tensor whose row count
+dwarfs its width.  RNN gating makes the model dominated by element-wise
+kernels, which is why XLA shows *negative* optimization on DIEN
+(Sec 6.1.1) while AStitch gains the most.
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import GraphBuilder
+from repro.ir.graph import Graph
+from repro.workloads import layers
+
+
+def build_dien(batch: int = 256, seq_len: int = 50, embed: int = 32,
+               hidden: int = 64, pool_rows: int = 750_000,
+               training: bool = False) -> Graph:
+    """Build the DIEN graph.
+
+    Args:
+        batch: Requests per batch (256 in production, train and infer).
+        seq_len: User-behavior sequence length.
+        embed: Item-embedding width (32, giving the ``<750000,32>`` case).
+        hidden: GRU state width.
+        pool_rows: Negative-sampling pool size (750,000 in production).
+        training: Append auxiliary-loss and gradient tails.
+    """
+    suffix = "-train" if training else ""
+    b = GraphBuilder(f"DIEN{suffix}")
+
+    # Fig 6(a) real case: row-reduce <750000,32> -> <750000>.
+    pool = b.parameter("item_pool", (pool_rows, embed))
+    pool_norm = b.reduce_sum(b.multiply(pool, pool), axes=(1,))
+    pool_scale = b.rsqrt(b.add_scalar(pool_norm, 1e-6))
+    normalized_pool = b.multiply(
+        pool, layers.broadcast_back(b, pool_scale, pool))
+    pool_summary = b.reduce_mean(normalized_pool, axes=(0,))
+    b.output(pool_summary)
+
+    # Behavior sequence through a GRU (interest extraction).
+    state = b.parameter("initial_state", (batch, hidden))
+    weights = b.parameter("gru_weights", (3 * hidden, hidden))
+    step_states = []
+    for t in range(seq_len):
+        x_t = b.parameter(f"behavior_{t}", (batch, hidden))
+        cell = b.rnn_cell(state, x_t, weights, name=f"gru_{t}")
+        state = layers.gru_gates(b, state, cell, f"gru_{t}")
+        step_states.append(state)
+
+    # Attention over the sequence states against the target item.
+    target = b.parameter("target_item", (batch, hidden))
+    scores = []
+    for t, s in enumerate(step_states):
+        dot_score = b.reduce_sum(b.multiply(s, target), axes=(1,),
+                                 name=f"attn_score_{t}")
+        scores.append(dot_score)
+    # Stack scores as <batch, seq> via broadcasts into a running max/sum
+    # (softmax over the time axis, decomposed per step).
+    running_max = scores[0]
+    for s in scores[1:]:
+        running_max = b.maximum(running_max, s)
+    exp_scores = [b.exp(b.subtract(s, running_max)) for s in scores]
+    denom = exp_scores[0]
+    for e in exp_scores[1:]:
+        denom = b.add(denom, e)
+
+    # Interest evolution: attention-weighted GRU (AUGRU).
+    evo_state = b.parameter("evolution_state", (batch, hidden))
+    evo_weights = b.parameter("augru_weights", (3 * hidden, hidden))
+    for t, (s, e) in enumerate(zip(step_states, exp_scores)):
+        alpha = b.divide(e, denom, name=f"alpha_{t}")
+        gated = b.multiply(s, layers.broadcast_back(b, alpha, s))
+        cell = b.rnn_cell(evo_state, gated, evo_weights,
+                          name=f"augru_{t}")
+        evo_state = layers.gru_gates(b, evo_state, cell, f"augru_{t}")
+
+    # MLP head over [interest, target].
+    features = b.multiply(evo_state, target)
+    h1 = b.relu(layers.dense(b, features, 200, "mlp1"))
+    h2 = b.relu(layers.dense(b, h1, 80, "mlp2"))
+    logits = layers.dense(b, h2, 2, "mlp3")
+    if training:
+        b.output(layers.log_softmax_loss(b, logits, "dien"))
+        aux = layers.gradient_tail(b, h1, "aux_grad")
+        b.output(b.reduce_mean(aux, axes=(0, 1)))
+    else:
+        b.output(layers.softmax(b, logits))
+    return b.build()

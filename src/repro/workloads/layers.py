@@ -1,0 +1,171 @@
+"""Reusable model building blocks.
+
+Each helper takes the :class:`GraphBuilder` plus input nodes and appends
+the standard decomposition of the layer into primitive IR operators — the
+same decomposition TensorFlow/XLA sees, which is what gives the paper's
+workloads their memory-intensive subgraph structure (softmax, layer-norm,
+gating, masking all expand into element-wise + broadcast + reduce chains
+between the compute-intensive dots).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.ir.builder import GraphBuilder
+from repro.ir.graph import Node
+
+
+def broadcast_back(b: GraphBuilder, small: Node, template: Node) -> Node:
+    """Broadcast a row-reduced value back over its source tensor's shape."""
+    return b.broadcast(small, template.shape,
+                       dims=tuple(range(small.shape.rank)))
+
+
+def softmax(b: GraphBuilder, logits: Node) -> Node:
+    """Numerically-stable softmax over the innermost axis."""
+    axis = logits.shape.rank - 1
+    mx = b.reduce_max(logits, axes=(axis,))
+    centered = b.subtract(logits, broadcast_back(b, mx, logits))
+    exped = b.exp(centered)
+    denom = b.reduce_sum(exped, axes=(axis,))
+    return b.divide(exped, broadcast_back(b, denom, logits))
+
+
+def layer_norm(b: GraphBuilder, x: Node, name: str) -> Node:
+    """Layer normalization over the innermost axis with affine params."""
+    axis = x.shape.rank - 1
+    width = x.shape.dim(axis)
+    mean = b.reduce_mean(x, axes=(axis,))
+    centered = b.subtract(x, broadcast_back(b, mean, x))
+    var = b.reduce_mean(b.multiply(centered, centered), axes=(axis,))
+    inv = b.rsqrt(b.add_scalar(var, 1e-5))
+    normed = b.multiply(centered, broadcast_back(b, inv, x))
+    gamma = b.parameter(f"{name}_gamma", (width,))
+    beta = b.parameter(f"{name}_beta", (width,))
+    gdims = (axis,)
+    scaled = b.multiply(normed, b.broadcast(gamma, x.shape, dims=gdims))
+    return b.add(scaled, b.broadcast(beta, x.shape, dims=gdims))
+
+
+def dense(b: GraphBuilder, x: Node, out_dim: int, name: str,
+          bias: bool = True) -> Node:
+    """2-D linear layer ``x @ W (+ b)``; the dot is a library divider."""
+    w = b.parameter(f"{name}_w", (x.shape.dim(1), out_dim))
+    out = b.dot(x, w)
+    if bias:
+        bias_p = b.parameter(f"{name}_b", (out_dim,))
+        out = b.add(out, b.broadcast(bias_p, out.shape, dims=(1,)))
+    return out
+
+
+def scaled_dot_attention(b: GraphBuilder, q: Node, k: Node, v: Node,
+                         name: str) -> Node:
+    """Single-head attention over rank-3 tensors ``<batch, seq, dim>``."""
+    dim = q.shape.dim(2)
+    kt = b.transpose(k, (0, 2, 1), name=f"{name}_kt")
+    scores = b.batch_matmul(q, kt, name=f"{name}_scores")
+    scaled = b.mul_scalar(scores, 1.0 / math.sqrt(dim))
+    weights = softmax(b, scaled)
+    return b.batch_matmul(weights, v, name=f"{name}_ctx")
+
+
+def gelu_ffn(b: GraphBuilder, x: Node, inner_dim: int, name: str) -> Node:
+    """Transformer feed-forward block with GELU activation."""
+    hidden = b.gelu(dense(b, x, inner_dim, f"{name}_in"))
+    return dense(b, hidden, x.shape.dim(1), f"{name}_out")
+
+
+def residual(b: GraphBuilder, x: Node, y: Node) -> Node:
+    """Residual connection: elementwise sum of a block's input/output."""
+    return b.add(x, y)
+
+
+def multi_head(b: GraphBuilder, x: Node, batch: int, seq: int,
+               heads: int) -> Node:
+    """Reshape ``<batch*seq, hidden>`` into ``<batch*heads, seq, dim>``."""
+    hidden = x.shape.dim(1)
+    dim = hidden // heads
+    folded = b.reshape(x, (batch, seq, heads, dim))
+    swapped = b.transpose(folded, (0, 2, 1, 3))
+    return b.reshape(swapped, (batch * heads, seq, dim))
+
+
+def merge_heads(b: GraphBuilder, x: Node, batch: int, seq: int,
+                heads: int) -> Node:
+    """Inverse of :func:`multi_head`: back to ``<batch*seq, hidden>``."""
+    dim = x.shape.dim(2)
+    folded = b.reshape(x, (batch, heads, seq, dim))
+    swapped = b.transpose(folded, (0, 2, 1, 3))
+    return b.reshape(swapped, (batch * seq, heads * dim))
+
+
+def gru_gates(b: GraphBuilder, state: Node, update: Node,
+              name: str) -> Node:
+    """The memory-intensive gating around a recurrent cell.
+
+    The matrix work lives in the ``rnn_cell`` library op; what surrounds
+    it — normalization of the pre-activations, sigmoid/tanh gates,
+    Hadamard products, convex blending — is the element-wise + reduce
+    soup that makes RNN workloads memory-intensive (and that shatters
+    into many small kernels under XLA at small batch sizes).
+    """
+    axis = update.shape.rank - 1
+    mean = b.reduce_mean(update, axes=(axis,))
+    centered = b.subtract(update, broadcast_back(b, mean, update))
+    scale = b.rsqrt(b.add_scalar(
+        b.reduce_mean(b.multiply(centered, centered), axes=(axis,)),
+        1e-5))
+    normed = b.multiply(centered, broadcast_back(b, scale, update),
+                        name=f"{name}_norm")
+    z = b.sigmoid(normed, name=f"{name}_z")
+    r = b.sigmoid(b.add(state, normed), name=f"{name}_r")
+    candidate = b.tanh(b.multiply(r, normed), name=f"{name}_h")
+    keep = b.multiply(z, state)
+    take = b.multiply(b.subtract(b.scalar_like(1.0, z), z), candidate)
+    return b.add(keep, take)
+
+
+def batch_norm_inference(b: GraphBuilder, x: Node, name: str) -> Node:
+    """Inference-time batch norm: scale/shift with stored statistics."""
+    width = x.shape.dim(x.shape.rank - 1)
+    dims = (x.shape.rank - 1,)
+    mean = b.parameter(f"{name}_mean", (width,))
+    inv_std = b.parameter(f"{name}_inv_std", (width,))
+    centered = b.subtract(x, b.broadcast(mean, x.shape, dims=dims))
+    return b.multiply(centered, b.broadcast(inv_std, x.shape, dims=dims))
+
+
+def log_softmax_loss(b: GraphBuilder, logits: Node, name: str) -> Node:
+    """Cross-entropy-style training head: log-softmax + mean reduction."""
+    axis = logits.shape.rank - 1
+    mx = b.reduce_max(logits, axes=(axis,))
+    centered = b.subtract(logits, broadcast_back(b, mx, logits))
+    exped = b.exp(centered)
+    denom = b.reduce_sum(exped, axes=(axis,))
+    log_probs = b.subtract(centered,
+                           broadcast_back(b, b.log(denom), logits))
+    per_row = b.reduce_mean(log_probs, axes=(axis,))
+    return b.reduce_mean(per_row, axes=tuple(range(per_row.shape.rank)),
+                         name=f"{name}_loss")
+
+
+def gradient_tail(b: GraphBuilder, activation: Node, name: str) -> Node:
+    """A backward-pass-shaped memory-intensive subgraph.
+
+    Training graphs carry per-layer gradient computations: element-wise
+    chain-rule products, column reductions for bias/parameter gradients,
+    and heavy activations' derivatives.  This helper appends one such
+    subgraph per call.
+    """
+    grad = b.multiply(activation, b.tanh(activation, name=f"{name}_dact"))
+    bias_grad = b.reduce_sum(grad, axes=(0,), name=f"{name}_dbias")
+    # Two-stage global norm (per-row partials, then across rows), the way
+    # frameworks actually emit clip-by-global-norm.
+    row_norms = b.reduce_sum(b.multiply(grad, grad), axes=(1,))
+    scale = b.rsqrt(b.add_scalar(b.reduce_sum(row_norms, axes=(0,)),
+                                 1e-6))
+    clipped = b.multiply(grad, broadcast_back(
+        b, b.broadcast(scale, (grad.shape.dim(0),), dims=()), grad))
+    b.output(bias_grad)
+    return clipped

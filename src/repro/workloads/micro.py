@@ -1,0 +1,113 @@
+"""Micro-benchmark graphs from the paper's figures.
+
+* :func:`power_broadcast_add` — the Fig 5 pattern TVM fuses with heavy
+  redundancy;
+* :func:`fig7_subgraph` — the Fig 7(a) memory-intensive subgraph used to
+  contrast kernel formation across compilers;
+* :func:`row_reduce` — standalone row reductions for the Fig 6 irregular
+  shapes (``<750000,32>`` and ``<64,30000>``);
+* :func:`giant_elementwise_graph` — synthetic N-node graphs for the
+  compile-overhead measurement of Sec 6.4.1.
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import GraphBuilder
+from repro.ir.graph import Graph
+from repro.workloads import layers
+
+
+def power_broadcast_add(rows: int = 2, cols: int = 128) -> Graph:
+    """``power<rows> -> broadcast<rows,cols> -> add`` (Fig 5)."""
+    b = GraphBuilder("fig5_power_broadcast_add")
+    base = b.parameter("base", (rows,))
+    exponent = b.parameter("exponent", (rows,))
+    other = b.parameter("other", (rows, cols))
+    powered = b.power(base, exponent)
+    spread = b.broadcast_rows(powered, (rows, cols))
+    b.output(b.add(spread, other))
+    return b.build()
+
+
+def fig7_subgraph(rows: int = 1024, cols: int = 512) -> Graph:
+    """The Fig 7(a) subgraph, simplified from a real workload."""
+    b = GraphBuilder("fig7_subgraph")
+    pr1 = b.parameter("parameter_1", (rows, cols))
+    pr2 = b.parameter("parameter_2", (rows, cols))
+    exponent = b.parameter("exponent", (rows,))
+    add1 = b.add(pr1, pr2)
+    reduce1 = b.reduce_sum(add1, axes=(1,))
+    bc1 = layers.broadcast_back(b, reduce1, pr2)
+    div1 = b.divide(pr2, bc1)
+    row2 = b.reduce_sum(div1, axes=(1,))
+    pw1 = b.power(row2, exponent)
+    bc2 = layers.broadcast_back(b, pw1, pr2)
+    mul0 = b.multiply(bc2, pr2)
+    reduce2 = b.reduce_sum(mul0, axes=(1,))
+    bc3 = layers.broadcast_back(b, reduce2, pr2)
+    b.output(b.multiply(bc3, div1))
+    return b.build()
+
+
+def row_reduce(rows: int, cols: int) -> Graph:
+    """A single row reduction (the Fig 6 irregular-shape probes)."""
+    b = GraphBuilder(f"row_reduce_{rows}x{cols}")
+    x = b.parameter("x", (rows, cols))
+    b.output(b.reduce_sum(x, axes=(1,)))
+    return b.build()
+
+
+def softmax_graph(rows: int, cols: int) -> Graph:
+    """A standalone softmax (the canonical regional-scheme pattern)."""
+    b = GraphBuilder(f"softmax_{rows}x{cols}")
+    x = b.parameter("x", (rows, cols))
+    b.output(layers.softmax(b, x))
+    return b.build()
+
+
+def softmax_graph_factory(rows: int = 64, cols: int = 64) -> Graph:
+    """Keyword-argument wrapper for the dynamic-shape JIT cache."""
+    return softmax_graph(rows, cols)
+
+
+def column_reduce_chain(size: int = 256, steps: int = 16) -> Graph:
+    """A chain of column-normalization stages.
+
+    Each stage column-reduces and broadcasts back along rows — both
+    block-locality breakers — so every stage boundary needs the *global*
+    stitching scheme.  With the global scheme the whole chain is one
+    kernel with in-kernel barriers; without it (regional-only ablation)
+    every stage is a separate launch.
+    """
+    b = GraphBuilder(f"column_chain_{size}x{steps}")
+    x = b.parameter("x", (size, size))
+    for step in range(steps):
+        col = b.reduce_sum(x, axes=(0,), name=f"colsum_{step}")
+        spread = b.broadcast(col, (size, size), dims=(1,))
+        x = b.multiply(b.add_scalar(spread, 1e-3), x,
+                       name=f"scaled_{step}")
+    b.output(x)
+    return b.build()
+
+
+def giant_elementwise_graph(num_nodes: int, width: int = 1024) -> Graph:
+    """A chain-with-branches graph of roughly ``num_nodes`` operators.
+
+    Used to measure JIT compilation overhead scaling (Sec 6.4.1 runs on
+    5,000-10,000-node graphs).
+    """
+    b = GraphBuilder(f"giant_{num_nodes}")
+    x = b.parameter("x", (64, width))
+    node = x
+    produced = 1
+    while produced < num_nodes:
+        branch = b.tanh(node)
+        node = b.add(node, branch)
+        produced += 2
+        if produced % 32 == 0:
+            summary = b.reduce_sum(node, axes=(1,))
+            node = b.multiply(node, layers.broadcast_back(b, summary,
+                                                          node))
+            produced += 2
+    b.output(node)
+    return b.build()

@@ -1,0 +1,100 @@
+"""Workload registry: Table 2 of the paper.
+
+=============  ==============  =================  =================
+Model          Field           Train batch size   Infer batch size
+=============  ==============  =================  =================
+CRNN           Images          —                  1
+ASR            Speech          —                  1
+BERT           NLP             12                 200
+Transformer    NLP             4,096              1
+DIEN           Recommendation  256                256
+=============  ==============  =================  =================
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Optional
+
+from repro.ir.graph import Graph
+from repro.workloads.asr import build_asr
+from repro.workloads.bert import build_bert
+from repro.workloads.crnn import build_crnn
+from repro.workloads.dien import build_dien
+from repro.workloads.transformer import build_transformer
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkloadSpec:
+    """A named workload with its production configurations.
+
+    Attributes:
+        name: Model name as the paper uses it.
+        field: Application domain (Table 2).
+        inference: Factory for the inference graph.
+        training: Factory for the training graph (None when the paper
+            evaluates inference only).
+    """
+
+    name: str
+    field: str
+    inference: Callable[[], Graph]
+    training: Optional[Callable[[], Graph]] = None
+
+
+WORKLOADS: dict[str, WorkloadSpec] = {
+    "CRNN": WorkloadSpec(
+        name="CRNN",
+        field="Images",
+        inference=lambda: build_crnn(),
+    ),
+    "ASR": WorkloadSpec(
+        name="ASR",
+        field="Speech",
+        inference=lambda: build_asr(),
+    ),
+    "BERT": WorkloadSpec(
+        name="BERT",
+        field="NLP",
+        inference=lambda: build_bert(batch=200),
+        training=lambda: build_bert(batch=12, training=True),
+    ),
+    "Transformer": WorkloadSpec(
+        name="Transformer",
+        field="NLP",
+        inference=lambda: build_transformer(),
+        training=lambda: build_transformer(training=True,
+                                           train_tokens=4096),
+    ),
+    "DIEN": WorkloadSpec(
+        name="DIEN",
+        field="Recommendation",
+        inference=lambda: build_dien(batch=256),
+        training=lambda: build_dien(batch=256, training=True),
+    ),
+}
+
+
+def inference_workloads() -> list[str]:
+    """Names of every workload (all have inference configurations)."""
+    return list(WORKLOADS)
+
+
+def training_workloads() -> list[str]:
+    """Names of the workloads with a training configuration."""
+    return [name for name, spec in WORKLOADS.items() if spec.training]
+
+
+def build(name: str, training: bool = False) -> Graph:
+    """Build a registered workload graph.
+
+    Raises:
+        KeyError: Unknown workload name.
+        ValueError: Training requested for an inference-only workload.
+    """
+    spec = WORKLOADS[name]
+    if training:
+        if spec.training is None:
+            raise ValueError(f"{name} is evaluated for inference only")
+        return spec.training()
+    return spec.inference()

@@ -1,0 +1,96 @@
+"""Transformer NMT workload (Vaswani et al.).
+
+The production configuration the paper measures: training with 4,096
+tokens per batch; inference with batch 1 and a beam of 64, which is where
+the ``<64,30000>`` row-reduce of Fig 6(b) comes from — every unrolled
+decoding step ends in a softmax over a 30,000-word vocabulary for all 64
+beams.  The unrolled decode loop is also why XLA forms ~10k
+memory-intensive kernels for this model (Table 3).
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import GraphBuilder
+from repro.ir.graph import Graph
+from repro.workloads import layers
+
+
+def _decoder_layer(b: GraphBuilder, x, memory, name: str):
+    beams = x.shape.dim(0)
+    hidden = x.shape.dim(1)
+    q = b.reshape(layers.dense(b, x, hidden, f"{name}_q"),
+                  (1, beams, hidden))
+    k = b.reshape(layers.dense(b, x, hidden, f"{name}_k"),
+                  (1, beams, hidden))
+    v = b.reshape(layers.dense(b, x, hidden, f"{name}_v"),
+                  (1, beams, hidden))
+    self_attn = layers.scaled_dot_attention(b, q, k, v, f"{name}_self")
+    x = layers.layer_norm(
+        b, layers.residual(b, x, b.reshape(self_attn, (beams, hidden))),
+        f"{name}_ln1")
+
+    cross = layers.scaled_dot_attention(
+        b, b.reshape(x, (1, beams, hidden)), memory, memory,
+        f"{name}_cross")
+    x = layers.layer_norm(
+        b, layers.residual(b, x, b.reshape(cross, (beams, hidden))),
+        f"{name}_ln2")
+
+    ffn = layers.gelu_ffn(b, x, 4 * hidden, f"{name}_ffn")
+    return layers.layer_norm(b, layers.residual(b, x, ffn), f"{name}_ln3")
+
+
+def build_transformer(beams: int = 64, hidden: int = 512,
+                      num_layers: int = 6, decode_steps: int = 48,
+                      vocab: int = 30_000, src_len: int = 64,
+                      training: bool = False,
+                      train_tokens: int = 4096) -> Graph:
+    """Build the Transformer graph.
+
+    Inference unrolls ``decode_steps`` beam-search steps of a
+    ``num_layers``-layer decoder, each ending in a vocabulary softmax over
+    ``<beams, vocab>`` — the paper's irregular-shape case.  Training is an
+    encoder-style pass over ``train_tokens`` tokens with loss/gradient
+    tails.
+    """
+    if training:
+        return _build_training(train_tokens, hidden, num_layers, vocab)
+
+    b = GraphBuilder("Transformer")
+    memory = b.parameter("encoder_memory", (1, src_len, hidden))
+    x = b.parameter("beam_state", (beams, hidden))
+    for step in range(decode_steps):
+        for layer in range(num_layers):
+            x = _decoder_layer(b, x, memory, f"s{step}_l{layer}")
+        logits = layers.dense(b, x, vocab, f"s{step}_logits", bias=False)
+        log_probs = layers.softmax(b, logits)          # <64, 30000>
+        top = b.reduce_max(log_probs, axes=(1,))       # beam scoring
+        x = b.multiply(x, layers.broadcast_back(b, top, x))
+    b.output(x)
+    return b.build()
+
+
+def _build_training(tokens: int, hidden: int, num_layers: int,
+                    vocab: int) -> Graph:
+    b = GraphBuilder("Transformer-train")
+    x = b.parameter("token_embeddings", (tokens, hidden))
+    x = layers.layer_norm(b, x, "embed_ln")
+    for layer in range(num_layers):
+        name = f"l{layer}"
+        q = b.reshape(layers.dense(b, x, hidden, f"{name}_q"),
+                      (1, tokens, hidden))
+        k = b.reshape(layers.dense(b, x, hidden, f"{name}_k"),
+                      (1, tokens, hidden))
+        v = b.reshape(layers.dense(b, x, hidden, f"{name}_v"),
+                      (1, tokens, hidden))
+        attn = layers.scaled_dot_attention(b, q, k, v, f"{name}_attn")
+        x = layers.layer_norm(
+            b, layers.residual(b, x, b.reshape(attn, (tokens, hidden))),
+            f"{name}_ln1")
+        ffn = layers.gelu_ffn(b, x, 4 * hidden, f"{name}_ffn")
+        x = layers.layer_norm(b, layers.residual(b, x, ffn),
+                              f"{name}_ln2")
+        x = layers.gradient_tail(b, x, f"{name}_grad")
+    logits = layers.dense(b, x, vocab, "logits", bias=False)
+    b.output(layers.log_softmax_loss(b, logits, "transformer"))
+    return b.build()

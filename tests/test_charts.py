@@ -1,0 +1,79 @@
+"""Tests for the ASCII chart renderers."""
+
+import pytest
+
+from repro.analysis.charts import bar_chart, grouped_bar_chart, series_chart
+
+
+class TestBarChart:
+    def test_basic_render(self):
+        text = bar_chart({"XLA": 1.0, "AStitch": 2.0}, title="speedup")
+        lines = text.splitlines()
+        assert lines[0] == "speedup"
+        assert len(lines) == 3
+        assert "2.00" in lines[2]
+
+    def test_bars_proportional(self):
+        text = bar_chart({"a": 1.0, "b": 2.0}, width=10)
+        a_line, b_line = text.splitlines()
+        assert a_line.count("#") == 5
+        assert b_line.count("#") == 10
+
+    def test_reference_marker(self):
+        text = bar_chart({"a": 4.0, "b": 0.5}, width=8, reference=1.0)
+        assert "|" in text
+
+    def test_unit_suffix(self):
+        text = bar_chart({"a": 3.0}, unit="x")
+        assert "3.00x" in text
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+
+    def test_all_zero_values(self):
+        text = bar_chart({"a": 0.0, "b": 0.0})
+        assert "0.00" in text
+
+
+class TestGroupedBarChart:
+    def test_clusters(self):
+        text = grouped_bar_chart({
+            "CRNN": {"XLA": 1.0, "AStitch": 2.5},
+            "DIEN": {"XLA": 1.2, "AStitch": 3.0},
+        })
+        assert "CRNN:" in text
+        assert "DIEN:" in text
+        assert text.count("AStitch") == 2
+
+    def test_shared_scale(self):
+        text = grouped_bar_chart({"g1": {"a": 1.0}, "g2": {"a": 4.0}},
+                                 width=8)
+        lines = [l for l in text.splitlines() if "#" in l]
+        assert lines[0].count("#") == 2
+        assert lines[1].count("#") == 8
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            grouped_bar_chart({})
+
+
+class TestSeriesChart:
+    def test_shape(self):
+        text = series_chart([1.0, 0.5, 0.25, 0.125], height=4)
+        lines = text.splitlines()
+        assert len(lines) == 5  # 4 rows + axis
+        assert lines[0].rstrip().endswith("#")
+
+    def test_monotone_series_renders_staircase(self):
+        text = series_chart([4, 3, 2, 1], height=4)
+        top_row = text.splitlines()[0]
+        assert top_row.count("#") == 1
+
+    def test_title(self):
+        text = series_chart([1.0], title="occupancy")
+        assert text.splitlines()[0] == "occupancy"
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            series_chart([])

@@ -1,0 +1,129 @@
+"""Tests for the CLI and the HLO-style graph printer."""
+
+import pytest
+
+from repro.cli import main, make_parser
+from repro.ir.builder import GraphBuilder
+from repro.ir.printer import format_graph, format_node, format_summary
+from repro.workloads import micro
+
+
+class TestPrinter:
+    def test_format_graph_structure(self):
+        graph = micro.softmax_graph(8, 4)
+        text = format_graph(graph)
+        lines = text.splitlines()
+        assert lines[0].endswith("{")
+        assert lines[-1] == "}"
+        # One line per node, plus braces.
+        assert len(lines) == len(graph) + 2
+
+    def test_root_marked(self):
+        graph = micro.softmax_graph(8, 4)
+        text = format_graph(graph)
+        assert "ROOT %divide" in text
+
+    def test_reduce_attrs_shown(self):
+        graph = micro.row_reduce(8, 4)
+        text = format_graph(graph)
+        assert "axes=(1,)" in text
+        assert "kind=sum" in text
+
+    def test_broadcast_dims_shown(self):
+        b = GraphBuilder()
+        x = b.parameter("x", (4,))
+        b.output(b.broadcast_rows(x, (4, 8)))
+        assert "dims=(0,)" in format_graph(b.build())
+
+    def test_constant_value_shown(self):
+        b = GraphBuilder()
+        x = b.parameter("x", (4,))
+        b.output(b.add_scalar(x, 2.0))
+        assert "value=2.0" in format_graph(b.build())
+
+    def test_dtype_and_shape_rendered(self):
+        b = GraphBuilder()
+        x = b.parameter("x", (3, 5))
+        b.output(b.tanh(x))
+        assert "f32<3,5>" in format_graph(b.build())
+
+    def test_format_node_operands(self):
+        b = GraphBuilder()
+        x = b.parameter("x", (4,))
+        y = b.parameter("y", (4,))
+        s = b.add(x, y)
+        assert format_node(s) == "%add = f32<4> add(%x, %y)"
+
+    def test_summary_mentions_shares(self):
+        text = format_summary(micro.fig7_subgraph(8, 4))
+        assert "memory-intensive" in text
+        assert "%" in text
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "CRNN" in out and "Transformer" in out
+
+    def test_run_micro(self, capsys):
+        assert main(["run", "softmax", "--compiler", "AStitch"]) == 0
+        out = capsys.readouterr().out
+        assert "MEM kernels" in out
+
+    def test_run_unknown_graph(self):
+        with pytest.raises(SystemExit):
+            main(["run", "ResNet"])
+
+    def test_compare_handles_rejection(self, capsys):
+        # TensorRT rejects training graphs but compare keeps going.
+        assert main(["compare", "BERT", "--train"]) == 0
+        out = capsys.readouterr().out
+        assert "AStitch" in out
+        assert "does not support training" in out
+
+    def test_dump_graph_summary_and_full(self, capsys):
+        assert main(["dump-graph", "fig5"]) == 0
+        summary = capsys.readouterr().out
+        assert "nodes" in summary
+        assert main(["dump-graph", "fig5", "--full"]) == 0
+        full = capsys.readouterr().out
+        assert "ROOT" in full
+
+    def test_dump_cuda(self, capsys):
+        assert main(["dump-cuda", "softmax"]) == 0
+        out = capsys.readouterr().out
+        assert '__global__' in out
+        assert "__shared__" in out
+
+    def test_device_option(self, capsys):
+        assert main(["run", "softmax", "--device", "T4"]) == 0
+        assert "T4" in capsys.readouterr().out
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            make_parser().parse_args([])
+
+
+class TestReportCommand:
+    def test_report_stdout(self, capsys):
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert "geomean" in out
+        assert "CRNN" in out and "Transformer" in out
+
+    def test_report_to_file(self, tmp_path, capsys):
+        path = tmp_path / "report.md"
+        assert main(["report", "--output", str(path)]) == 0
+        text = path.read_text()
+        assert text.startswith("# AStitch reproduction report")
+        assert "| DIEN |" in text
+
+    def test_run_explain_flag(self, capsys):
+        assert main(["run", "softmax", "--explain"]) == 0
+        out = capsys.readouterr().out
+        assert "bound by" in out
+
+    def test_run_profile_flag(self, capsys):
+        assert main(["run", "fig7", "--profile"]) == 0
+        assert "GPU summary" in capsys.readouterr().out

@@ -1,0 +1,233 @@
+"""Tests for the end-to-end AStitch compiler and its ablations."""
+
+import numpy as np
+import pytest
+
+from repro.codegen.builder import kernel_cost_inputs
+from repro.compilers import TensorFlowCompiler, TVMCompiler, XLACompiler
+from repro.core import AStitchCompiler, AStitchConfig
+from repro.core.launch import configure_launch
+from repro.gpu.costmodel import KernelCostModel
+from repro.gpu.memory import MemorySpace
+from repro.gpu.spec import V100
+from repro.ir.builder import GraphBuilder
+from repro.ir.interpreter import evaluate, random_feeds
+
+from tests.test_core_scope import chained_graph, fig7_graph, two_branch_graph
+from tests.test_compilers_baselines import (
+    branchy_graph,
+    fig5_graph,
+    mixed_graph,
+    softmax_graph,
+)
+
+GRAPH_FACTORIES = [fig7_graph, two_branch_graph, chained_graph,
+                   branchy_graph, fig5_graph, mixed_graph, softmax_graph]
+
+CONFIGS = {
+    "full": AStitchConfig.full(),
+    "atm": AStitchConfig.adaptive_mapping_only(),
+    "hdm": AStitchConfig.no_dominant_merging(),
+    "regional": AStitchConfig.regional_only(),
+}
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("config_name", list(CONFIGS))
+    @pytest.mark.parametrize("factory", GRAPH_FACTORIES,
+                             ids=lambda f: f.__name__)
+    def test_matches_interpreter(self, config_name, factory):
+        graph = factory()
+        module = AStitchCompiler(CONFIGS[config_name]).compile(graph)
+        feeds = random_feeds(graph, seed=21)
+        got = module.execute(feeds)
+        want = evaluate(graph, feeds)
+        assert set(got) == set(want)
+        for name in want:
+            np.testing.assert_allclose(got[name], want[name], rtol=1e-4,
+                                       atol=1e-5)
+
+
+class TestKernelFormation:
+    def test_one_kernel_per_scope(self):
+        graph = fig7_graph()
+        module = AStitchCompiler().compile(graph)
+        # Single memory-intensive subgraph -> exactly one stitch kernel.
+        assert len(module.kernels()) == 1
+
+    def test_fig7_kernel_counts_vs_baselines(self):
+        # Fig 7(b)/(c): XLA forms ~4 kernels, TVM ~3, AStitch 1.
+        graph = fig7_graph()
+        astitch = len(AStitchCompiler().compile(graph).kernels())
+        xla = len(XLACompiler().compile(graph).kernels())
+        tvm = len(TVMCompiler().compile(graph).kernels())
+        assert astitch == 1
+        assert tvm < xla or tvm == xla - 1
+        assert astitch < tvm < xla
+
+    def test_remote_stitching_reduces_kernels(self):
+        graph = two_branch_graph()
+        with_remote = AStitchCompiler(AStitchConfig.full()).compile(graph)
+        without = AStitchCompiler(
+            AStitchConfig(remote_stitching=False)).compile(graph)
+        assert len(with_remote.kernels()) < len(without.kernels())
+
+    def test_far_fewer_kernels_than_xla(self):
+        graph = fig7_graph()
+        astitch = AStitchCompiler().compile(graph)
+        xla = XLACompiler().compile(graph)
+        assert len(astitch.kernels()) <= len(xla.kernels()) / 2
+
+    def test_regional_only_splits_per_group(self):
+        # Wide rows force task splitting -> global scheme; without it the
+        # scope must shatter into one kernel per schedule group.
+        graph = fig7_graph(rows=64, cols=30_000)
+        full = AStitchCompiler().compile(graph)
+        regional = AStitchCompiler(
+            AStitchConfig.regional_only()).compile(graph)
+        assert len(regional.kernels()) > len(full.kernels())
+        assert all(k.num_global_barriers == 0 for k in regional.kernels())
+
+    def test_row_aligned_scope_needs_no_split_in_regional_mode(self):
+        # Everything block-local: regional-only stitches exactly like full.
+        graph = softmax_graph(1024, 256)
+        full = AStitchCompiler().compile(graph)
+        regional = AStitchCompiler(
+            AStitchConfig.regional_only()).compile(graph)
+        assert len(regional.kernels()) == len(full.kernels()) == 1
+
+
+class TestSchemesAndBarriers:
+    def test_stitched_kernel_has_barriers_when_global_needed(self):
+        # Task splitting on wide rows makes cross-thread values global,
+        # which requires in-kernel device-wide barriers.
+        graph = fig7_graph(rows=64, cols=30_000)
+        kernel = AStitchCompiler().compile(graph).kernels()[0]
+        assert kernel.num_global_barriers >= 1
+
+    def test_row_aligned_kernel_needs_no_global_barrier(self):
+        # All reuse is block-local (regional): block syncs suffice.
+        graph = softmax_graph(1024, 256)
+        kernel = AStitchCompiler().compile(graph).kernels()[0]
+        assert kernel.num_global_barriers == 0
+
+    def test_barrier_grid_within_wave(self):
+        graph = fig7_graph(rows=500_000, cols=32)
+        kernel = AStitchCompiler().compile(graph).kernels()[0]
+        if kernel.num_global_barriers:
+            wave = V100.blocks_per_wave(kernel.mapping.block_size,
+                                        kernel.regs_per_thread,
+                                        kernel.smem_per_block)
+            assert kernel.mapping.grid_size <= wave
+
+    def test_softmax_reduces_are_regional(self):
+        graph = softmax_graph(1024, 256)
+        kernel = AStitchCompiler().compile(graph).kernels()[0]
+        shared = [n for n, p in kernel.placements.items()
+                  if p is MemorySpace.SHARED]
+        assert len(shared) >= 1
+
+    def test_split_rows_force_global_placement(self):
+        graph = fig7_graph(rows=64, cols=30_000)
+        kernel = AStitchCompiler().compile(graph).kernels()[0]
+        spaces = set(kernel.placements.values())
+        assert MemorySpace.GLOBAL in spaces
+
+    def test_row_aligned_values_stay_on_chip(self):
+        graph = fig7_graph(rows=4096, cols=256)
+        kernel = AStitchCompiler().compile(graph).kernels()[0]
+        assert MemorySpace.SHARED in set(kernel.placements.values())
+
+    def test_smem_within_budget(self):
+        graph = softmax_graph(100_000, 512)
+        kernel = AStitchCompiler().compile(graph).kernels()[0]
+        assert kernel.smem_per_block <= V100.shared_memory_per_block
+
+
+class TestHierarchicalDataReuse:
+    def test_less_traffic_than_xla(self):
+        graph = fig7_graph(rows=4096, cols=256)
+        astitch = AStitchCompiler().compile(graph)
+        xla = XLACompiler().compile(graph)
+
+        def traffic(module):
+            return sum(kernel_cost_inputs(k).bytes_read
+                       + kernel_cost_inputs(k).bytes_written
+                       for k in module.kernels())
+
+        assert traffic(astitch) < traffic(xla)
+
+    def test_fewer_instructions_than_tvm(self):
+        graph = fig5_graph(2, 128)
+        astitch = AStitchCompiler().compile(graph)
+        tvm = TVMCompiler().compile(graph)
+
+        def instructions(module):
+            return sum(kernel_cost_inputs(k).fp_instructions
+                       for k in module.kernels())
+
+        assert instructions(astitch) < instructions(tvm)
+
+    def test_merging_removes_duplicate_input_reads(self):
+        graph = fig7_graph()
+        full = AStitchCompiler().compile(graph).kernels()[0]
+        hdm = AStitchCompiler(
+            AStitchConfig.no_dominant_merging()).compile(graph).kernels()[0]
+        full_factor = sum(full.input_read_factors.values())
+        hdm_factor = sum(hdm.input_read_factors.values())
+        assert hdm_factor > full_factor
+
+
+class TestAblationOrdering:
+    def test_table4_monotonic_improvement(self):
+        """XLA >= ATM >= HDM >= AStitch in modeled kernel time."""
+        graph = fig7_graph(rows=200_000, cols=32)
+        cost = KernelCostModel(V100)
+
+        def total_time(module):
+            time = 0.0
+            for kernel in module.kernels():
+                time += cost.price(kernel_cost_inputs(kernel)).duration
+                time += V100.kernel_launch_latency
+            return time
+
+        t_xla = total_time(XLACompiler().compile(graph))
+        t_atm = total_time(AStitchCompiler(
+            AStitchConfig.adaptive_mapping_only()).compile(graph))
+        t_hdm = total_time(AStitchCompiler(
+            AStitchConfig.no_dominant_merging()).compile(graph))
+        t_full = total_time(AStitchCompiler().compile(graph))
+        assert t_atm < t_xla
+        assert t_hdm <= t_atm
+        assert t_full <= t_hdm
+
+    def test_compile_overhead_about_3x_xla(self):
+        graph = fig7_graph()
+        astitch = AStitchCompiler().compile(graph)
+        xla = XLACompiler().compile(graph)
+        ratio = astitch.compile_seconds / xla.compile_seconds
+        assert ratio == pytest.approx(3.0, rel=0.01)
+
+
+class TestLaunchConfig:
+    def test_relaxes_registers_when_smem_bound(self):
+        # 48 KiB of smem caps residency at 2 blocks/SM; registers can
+        # grow to 65536/(2*256)=128 without losing residency.
+        cfg = configure_launch(V100, 256, 48 * 1024)
+        assert cfg.register_bound == 128
+
+    def test_keeps_assumed_bound_when_regs_would_limit(self):
+        cfg = configure_launch(V100, 1024, 0)
+        # 2 blocks of 1024 threads: 65536/2048 = 32 registers exactly.
+        assert cfg.register_bound == 32
+        assert cfg.blocks_per_wave == 160
+
+    def test_never_exceeds_hardware_register_cap(self):
+        cfg = configure_launch(V100, 32, 48 * 1024)
+        assert cfg.register_bound <= V100.max_registers_per_thread
+
+    def test_wave_consistent_with_occupancy(self):
+        from repro.gpu.occupancy import occupancy
+        cfg = configure_launch(V100, 512, 16 * 1024)
+        occ = occupancy(V100, 512, cfg.register_bound, 16 * 1024)
+        assert cfg.blocks_per_wave == occ.blocks_per_wave

@@ -1,0 +1,109 @@
+"""Focused unit tests for memory planning and launch configuration."""
+
+import pytest
+
+from repro.core.memplan import MemoryPlan, plan_memory
+from repro.core.schemes import StitchScheme
+from repro.gpu.spec import V100
+from repro.ir.builder import GraphBuilder
+
+
+def chain_graph(sizes):
+    """Independent tanh nodes with the given element counts (rank-1)."""
+    b = GraphBuilder()
+    nodes = []
+    for i, size in enumerate(sizes):
+        param = b.parameter(f"x{i}", (size,))
+        node = b.tanh(param, name=f"v{i}")
+        nodes.append(node)
+        b.output(node)
+    return b.build(), nodes
+
+
+class TestPlanMemory:
+    def _plan(self, graph, schemes, grid=160, block=1024,
+              reduce_groups=0, group_of=None, stages_of=None):
+        group_of = group_of or {n: 0 for n in graph.nodes}
+        stages_of = stages_of or {0: 0}
+        return plan_memory(graph, schemes, grid, block, V100,
+                           group_of, stages_of, reduce_groups)
+
+    def test_small_regional_values_fit(self):
+        graph, nodes = chain_graph([1024, 1024])
+        schemes = {nodes[0]: StitchScheme.REGIONAL}
+        plan = self._plan(graph, schemes)
+        assert plan.demoted == ()
+        assert plan.schemes[nodes[0]] is StitchScheme.REGIONAL
+        assert plan.smem_per_block > 0
+
+    def test_oversized_regional_demoted_to_global(self):
+        # One value whose per-block slice exceeds 48 KiB at grid=1.
+        graph, nodes = chain_graph([1024 * 1024, 1024])
+        schemes = {nodes[0]: StitchScheme.REGIONAL}
+        plan = self._plan(graph, schemes, grid=1)
+        assert nodes[0] in plan.demoted
+        assert plan.schemes[nodes[0]] is StitchScheme.GLOBAL
+
+    def test_largest_demoted_first(self):
+        graph, nodes = chain_graph([1024 * 1024, 256, 1024])
+        schemes = {nodes[0]: StitchScheme.REGIONAL,
+                   nodes[1]: StitchScheme.REGIONAL}
+        plan = self._plan(graph, schemes, grid=1)
+        assert nodes[0] in plan.demoted
+        assert plan.schemes[nodes[1]] is StitchScheme.REGIONAL
+
+    def test_workspace_counts_against_budget(self):
+        graph, nodes = chain_graph([1024])
+        plan_none = self._plan(graph, {}, reduce_groups=0)
+        plan_many = self._plan(graph, {}, reduce_groups=4)
+        assert plan_many.smem_per_block > plan_none.smem_per_block
+
+    def test_smem_never_exceeds_hardware_limit(self):
+        graph, nodes = chain_graph([8 * 1024 * 1024, 4 * 1024 * 1024])
+        schemes = {n: StitchScheme.REGIONAL for n in nodes}
+        plan = self._plan(graph, schemes, grid=2)
+        assert plan.smem_per_block <= V100.shared_memory_per_block
+
+    def test_global_scratch_reuse_across_stages(self):
+        # Two global values in different stages with no overlapping
+        # liveness share one buffer.
+        b = GraphBuilder()
+        x = b.parameter("x", (1024,))
+        v0 = b.tanh(x)
+        v1 = b.exp(v0)
+        v2 = b.log(v1)
+        b.output(v2)
+        graph = b.build()
+        schemes = {v0: StitchScheme.GLOBAL, v1: StitchScheme.GLOBAL}
+        group_of = {v0: 0, v1: 1, v2: 2}
+        stages_of = {0: 0, 1: 1, 2: 2}
+        plan = plan_memory(graph, schemes, 160, 1024, V100,
+                           group_of, stages_of, reduce_groups=0)
+        # v0 dies after stage 1 (its consumer v1 is stage 1), so v1's
+        # buffer... v0 lives into stage 1, v1 into stage 2: they overlap
+        # pairwise, needing 2 allocations; peak is both live.
+        assert plan.fresh_allocations == 2
+        assert plan.global_peak_bytes >= 2 * 1024 * 4
+
+    def test_disjoint_liveness_reuses_buffer(self):
+        b = GraphBuilder()
+        x = b.parameter("x", (1024,))
+        v0 = b.tanh(x)
+        mid = b.exp(v0)
+        v1 = b.log(mid)
+        out = b.abs(v1)
+        b.output(out)
+        graph = b.build()
+        schemes = {v0: StitchScheme.GLOBAL, v1: StitchScheme.GLOBAL}
+        group_of = {v0: 0, mid: 1, v1: 2, out: 3}
+        stages_of = {0: 0, 1: 1, 2: 2, 3: 3}
+        plan = plan_memory(graph, schemes, 160, 1024, V100,
+                           group_of, stages_of, reduce_groups=0)
+        # v0's last use is stage 1; v1 allocated at stage 2 -> reuse.
+        assert plan.fresh_allocations == 1
+
+    def test_plan_returns_memoryplan(self):
+        graph, nodes = chain_graph([64])
+        plan = self._plan(graph, {})
+        assert isinstance(plan, MemoryPlan)
+        assert plan.global_peak_bytes == 0

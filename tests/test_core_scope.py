@@ -1,0 +1,182 @@
+"""Tests for stitching-scope identification and dominant analysis."""
+
+import pytest
+
+from repro.core.dominants import analyze_scope, dominant_candidates
+from repro.core.scope import identify_stitch_scopes
+from repro.ir.builder import GraphBuilder
+from repro.ir.ops import OpKind
+from repro.ir import patterns
+
+
+def fig7_graph(rows=64, cols=256):
+    """The Fig 7(a) memory-intensive subgraph (simplified real workload).
+
+    parameter.1 -> add.1 -> reduce.1 -> broadcast.1 -> divide.1 -> power.1
+    -> broadcast.2 ... multiply/reduce.2 tail, two parameters reused.
+    """
+    b = GraphBuilder("fig7")
+    pr1 = b.parameter("pr1", (rows, cols))
+    pr2 = b.parameter("pr2", (rows, cols))
+    exponent = b.parameter("exponent", (rows,))
+    add1 = b.add(pr1, pr2)
+    reduce1 = b.reduce_sum(add1, axes=(1,))
+    bc1 = b.broadcast_rows(reduce1, (rows, cols))
+    div1 = b.divide(pr2, bc1)
+    row_sum = b.reduce_sum(div1, axes=(1,))
+    pw1 = b.power(row_sum, exponent)
+    bc2 = b.broadcast_rows(pw1, (rows, cols))
+    mul0 = b.multiply(bc2, pr2)
+    reduce2 = b.reduce_sum(mul0, axes=(1,))
+    bc3 = b.broadcast_rows(reduce2, (rows, cols))
+    mul1 = b.multiply(bc3, div1)
+    b.output(mul1)
+    return b.build()
+
+
+def two_branch_graph():
+    """Two memory-intensive subgraphs separated by independent dots."""
+    b = GraphBuilder("branches")
+    x = b.parameter("x", (8, 16))
+    y = b.parameter("y", (8, 16))
+    wa = b.parameter("wa", (16, 16))
+    wb = b.parameter("wb", (16, 16))
+    a = b.tanh(x)
+    bb = b.sigmoid(y)
+    da = b.dot(a, wa)
+    db = b.dot(bb, wb)
+    outa = b.relu(da)
+    outb = b.relu(db)
+    b.output(outa, outb)
+    return b.build()
+
+
+def chained_graph():
+    """Subgraphs where one feeds the other through a dot (no remote merge)."""
+    b = GraphBuilder("chained")
+    x = b.parameter("x", (8, 16))
+    w = b.parameter("w", (16, 16))
+    pre = b.tanh(x)
+    d = b.dot(pre, w)
+    post = b.sigmoid(d)
+    b.output(post)
+    return b.build()
+
+
+class TestScopeIdentification:
+    def test_without_remote_stitching_one_scope_per_component(self):
+        g = two_branch_graph()
+        scopes = identify_stitch_scopes(g, remote_stitching=False)
+        assert len(scopes) == len(patterns.memory_intensive_components(g))
+
+    def test_remote_stitching_merges_independent_components(self):
+        g = two_branch_graph()
+        scopes = identify_stitch_scopes(g, remote_stitching=True)
+        # tanh/sigmoid pre-subgraphs merge, relu post-subgraphs merge.
+        assert len(scopes) == 2
+
+    def test_remote_stitching_respects_dependencies(self):
+        g = chained_graph()
+        scopes = identify_stitch_scopes(g, remote_stitching=True)
+        # pre feeds post through the dot: merging would be cyclic.
+        assert len(scopes) == 2
+
+    def test_scope_nodes_are_memory_intensive(self):
+        g = fig7_graph()
+        for scope in identify_stitch_scopes(g):
+            assert all(n.is_memory_intensive() for n in scope.nodes)
+
+    def test_empty_graph(self):
+        b = GraphBuilder()
+        x = b.parameter("x", (4, 4))
+        w = b.parameter("w", (4, 4))
+        b.output(b.dot(x, w))
+        assert identify_stitch_scopes(b.build()) == []
+
+
+class TestDominantCandidates:
+    def test_reduces_are_candidates(self):
+        g = fig7_graph()
+        scope = identify_stitch_scopes(g)[0]
+        cands = dominant_candidates(g, scope.nodes)
+        reduce_count = sum(1 for n in cands if n.kind is OpKind.REDUCE)
+        assert reduce_count == 3
+
+    def test_heavy_before_broadcast_is_candidate(self):
+        g = fig7_graph()
+        scope = identify_stitch_scopes(g)[0]
+        cands = dominant_candidates(g, scope.nodes)
+        assert any(n.kind is OpKind.POWER for n in cands)
+
+    def test_scope_output_is_candidate(self):
+        g = fig7_graph()
+        scope = identify_stitch_scopes(g)[0]
+        cands = dominant_candidates(g, scope.nodes)
+        assert g.outputs[0] in cands
+
+    def test_light_elementwise_not_candidate(self):
+        g = fig7_graph()
+        scope = identify_stitch_scopes(g)[0]
+        cands = dominant_candidates(g, scope.nodes)
+        assert not any(n.kind is OpKind.ADD for n in cands)
+
+
+class TestDominantMerging:
+    def test_merging_reduces_group_count(self):
+        g = fig7_graph()
+        scope = identify_stitch_scopes(g)[0]
+        merged = analyze_scope(g, scope.nodes, dominant_merging=True)
+        unmerged = analyze_scope(g, scope.nodes, dominant_merging=False)
+        assert len(merged.groups) < len(unmerged.groups)
+
+    def test_final_dominants_prefer_reduce(self):
+        g = fig7_graph()
+        scope = identify_stitch_scopes(g)[0]
+        analysis = analyze_scope(g, scope.nodes, dominant_merging=True)
+        for group in analysis.groups:
+            if any(s.kind is OpKind.REDUCE
+                   for s in (group.dominant, *group.sub_dominants)):
+                assert group.dominant.kind is OpKind.REDUCE
+
+    def test_every_scope_node_has_a_group(self):
+        g = fig7_graph()
+        scope = identify_stitch_scopes(g)[0]
+        analysis = analyze_scope(g, scope.nodes, dominant_merging=True)
+        assert set(analysis.group_of) >= set(scope.nodes)
+
+    def test_groups_partition_scope_when_merged(self):
+        g = fig7_graph()
+        scope = identify_stitch_scopes(g)[0]
+        analysis = analyze_scope(g, scope.nodes, dominant_merging=True)
+        total = sum(len(grp.nodes) for grp in analysis.groups)
+        assert total == len(scope.nodes)
+
+    def test_unmerged_mode_duplicates_shared_locals(self):
+        g = fig7_graph()
+        scope = identify_stitch_scopes(g)[0]
+        analysis = analyze_scope(g, scope.nodes, dominant_merging=False)
+        # divide.1 feeds both reduce chains -> duplicated when not merged.
+        assert any(f > 1 for f in analysis.duplication.values())
+
+    def test_unmerged_mode_multiplies_input_reads(self):
+        g = fig7_graph()
+        scope = identify_stitch_scopes(g)[0]
+        merged = analyze_scope(g, scope.nodes, dominant_merging=True)
+        unmerged = analyze_scope(g, scope.nodes, dominant_merging=False)
+        merged_reads = sum(merged.input_read_groups.values())
+        unmerged_reads = sum(unmerged.input_read_groups.values())
+        assert unmerged_reads > merged_reads
+
+    def test_stages_at_least_one(self):
+        g = fig7_graph()
+        scope = identify_stitch_scopes(g)[0]
+        analysis = analyze_scope(g, scope.nodes)
+        assert analysis.stages >= 1
+        assert analysis.stages == max(analysis.group_stage.values()) + 1
+
+    def test_cross_group_values_are_candidates(self):
+        g = fig7_graph()
+        scope = identify_stitch_scopes(g)[0]
+        analysis = analyze_scope(g, scope.nodes)
+        cands = set(dominant_candidates(g, scope.nodes))
+        assert set(analysis.cross_group_values) <= cands

@@ -1,0 +1,101 @@
+"""Cross-device compilation and AMP numeric checks."""
+
+import numpy as np
+import pytest
+
+from repro.compilers import TensorFlowCompiler, XLACompiler
+from repro.compilers.verify import verify_module
+from repro.core import AStitchCompiler
+from repro.gpu.spec import A100, T4, V100
+from repro.ir.dtypes import F16
+from repro.ir.interpreter import evaluate, random_feeds
+from repro.runtime import Engine, convert_to_amp
+from repro.workloads import micro
+
+
+class TestCrossDevice:
+    @pytest.mark.parametrize("spec", [V100, T4, A100],
+                             ids=lambda s: s.name)
+    def test_compile_and_verify_per_device(self, spec):
+        graph = micro.fig7_subgraph(1024, 512)
+        for compiler in (XLACompiler(), AStitchCompiler()):
+            module = compiler.compile(graph, spec)
+            verify_module(module, spec)
+
+    @pytest.mark.parametrize("spec", [V100, T4, A100],
+                             ids=lambda s: s.name)
+    def test_numerics_identical_across_devices(self, spec):
+        # The device changes schedules and prices, never values.
+        graph = micro.fig7_subgraph(64, 32)
+        feeds = random_feeds(graph, seed=23)
+        want = evaluate(graph, feeds)
+        got = AStitchCompiler().compile(graph, spec).execute(feeds)
+        for key in want:
+            np.testing.assert_allclose(got[key], want[key], rtol=1e-4,
+                                       atol=1e-5)
+
+    def test_t4_wave_smaller_than_v100(self):
+        assert T4.blocks_per_wave(1024) < V100.blocks_per_wave(1024)
+
+    def test_barrier_grid_legal_on_every_device(self):
+        graph = micro.column_reduce_chain(size=4096, steps=4)
+        for spec in (V100, T4, A100):
+            module = AStitchCompiler().compile(graph, spec)
+            for kernel in module.kernels():
+                if kernel.num_global_barriers:
+                    wave = spec.blocks_per_wave(
+                        kernel.mapping.block_size,
+                        kernel.regs_per_thread,
+                        kernel.smem_per_block)
+                    assert kernel.mapping.grid_size <= wave, spec.name
+
+    def test_astitch_wins_on_every_device(self):
+        graph = micro.fig7_subgraph(4096, 512)
+        for spec in (V100, T4, A100):
+            engine = Engine(spec)
+            t_xla = engine.run(XLACompiler().compile(graph, spec))
+            t_astitch = engine.run(AStitchCompiler().compile(graph,
+                                                             spec))
+            assert t_astitch.total_time < t_xla.total_time, spec.name
+
+
+class TestAmpNumerics:
+    def test_amp_module_executes_in_fp16(self):
+        graph = convert_to_amp(micro.softmax_graph(32, 16))
+        module = AStitchCompiler().compile(graph)
+        feeds = random_feeds(graph, seed=29)
+        outputs = module.execute(feeds)
+        for value in outputs.values():
+            assert value.dtype == np.float16
+
+    def test_amp_matches_fp16_interpreter(self):
+        graph = convert_to_amp(micro.fig7_subgraph(16, 8))
+        feeds = random_feeds(graph, seed=31)
+        want = evaluate(graph, feeds)
+        for compiler in (TensorFlowCompiler(), XLACompiler(),
+                         AStitchCompiler()):
+            got = compiler.compile(graph).execute(feeds)
+            for key in want:
+                np.testing.assert_allclose(
+                    got[key].astype("float32"),
+                    want[key].astype("float32"),
+                    rtol=2e-2, atol=1e-2, err_msg=compiler.name)
+
+    def test_amp_halves_dram_transactions(self):
+        graph = micro.softmax_graph(4096, 512)
+        engine = Engine()
+        fp32 = engine.run(AStitchCompiler().compile(graph))
+        fp16 = engine.run(AStitchCompiler().compile(
+            convert_to_amp(graph)))
+        ratio = (fp16.aggregate_mem_counters().dram_total_transactions
+                 / fp32.aggregate_mem_counters().dram_total_transactions)
+        assert ratio == pytest.approx(0.5, abs=0.05)
+
+    def test_amp_preserves_integer_dtypes(self):
+        from repro.ir.builder import GraphBuilder
+        from repro.ir.dtypes import I32
+        b = GraphBuilder()
+        x = b.parameter("x", (8,), dtype=I32)
+        b.output(b.abs(x))
+        amp = convert_to_amp(b.build())
+        assert all(n.dtype is I32 for n in amp.nodes)

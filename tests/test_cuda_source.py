@@ -1,0 +1,110 @@
+"""Tests for the prototype CUDA source emitter."""
+
+import re
+
+import pytest
+
+from repro.codegen.cuda_source import emit_kernel_source, emit_module_source
+from repro.compilers import XLACompiler
+from repro.core import AStitchCompiler
+from repro.workloads import micro
+
+
+def stitched_kernel(graph):
+    module = AStitchCompiler().compile(graph)
+    return module.kernels()[0], module
+
+
+class TestKernelSource:
+    def test_signature_contains_all_io(self):
+        kernel, _ = stitched_kernel(micro.softmax_graph(1024, 256))
+        source = emit_kernel_source(kernel)
+        for node in kernel.inputs:
+            assert f"in_{node.name.replace('.', '_')}" in source
+        for node in kernel.outputs:
+            assert f"out_{node.name.replace('.', '_')}" in source
+
+    def test_launch_bounds_carry_block_and_registers(self):
+        kernel, _ = stitched_kernel(micro.softmax_graph(1024, 256))
+        source = emit_kernel_source(kernel)
+        assert f"__launch_bounds__({kernel.mapping.block_size})" in source
+        assert f"maxrregcount={kernel.regs_per_thread}" in source
+
+    def test_regional_values_get_shared_memory(self):
+        kernel, _ = stitched_kernel(micro.softmax_graph(1024, 256))
+        source = emit_kernel_source(kernel)
+        assert "__shared__ float smem_" in source
+        assert "__syncthreads()" in source
+
+    def test_global_scheme_emits_grid_sync(self):
+        kernel, _ = stitched_kernel(
+            micro.column_reduce_chain(size=64, steps=3))
+        source = emit_kernel_source(kernel)
+        assert "cooperative_groups" in source
+        syncs = source.count("grid_bar.sync()")
+        assert syncs == kernel.num_global_barriers
+        assert kernel.num_global_barriers >= 1
+
+    def test_row_aligned_kernel_has_no_grid_sync(self):
+        kernel, _ = stitched_kernel(micro.softmax_graph(1024, 256))
+        source = emit_kernel_source(kernel)
+        assert "grid_bar.sync()" not in source
+        assert "cooperative_groups" not in source
+
+    def test_reduce_emits_block_reduction(self):
+        kernel, _ = stitched_kernel(micro.softmax_graph(1024, 256))
+        source = emit_kernel_source(kernel)
+        assert "block_reduce_max" in source
+        assert "block_reduce_sum" in source
+
+    def test_heavy_ops_inline_as_intrinsics(self):
+        kernel, _ = stitched_kernel(micro.softmax_graph(64, 64))
+        source = emit_kernel_source(kernel)
+        assert "__expf(" in source
+
+    def test_splitting_emits_atomics(self):
+        kernel, _ = stitched_kernel(micro.row_reduce(64, 30_000))
+        source = emit_kernel_source(kernel)
+        assert "atomicAdd(" in source
+
+    def test_fig5_power_inlined_once(self):
+        # AStitch computes the power once; the source must contain
+        # exactly one powf per buffered statement, not one per consumer.
+        kernel, _ = stitched_kernel(micro.power_broadcast_add(4096, 128))
+        source = emit_kernel_source(kernel)
+        assert source.count("powf(") <= 2
+
+    def test_source_is_balanced(self):
+        for graph in (micro.softmax_graph(128, 64),
+                      micro.fig7_subgraph(256, 128),
+                      micro.column_reduce_chain(64, 2)):
+            kernel, _ = stitched_kernel(graph)
+            source = emit_kernel_source(kernel)
+            assert source.count("{") == source.count("}")
+
+    def test_stage_comments_order(self):
+        kernel, _ = stitched_kernel(micro.fig7_subgraph(512, 256))
+        source = emit_kernel_source(kernel)
+        stages = [int(m) for m in re.findall(r"---- stage (\d+) ----",
+                                             source)]
+        assert stages == sorted(stages)
+        assert len(stages) >= 2
+
+
+class TestModuleSource:
+    def test_module_header_counts_kernels(self):
+        graph = micro.fig7_subgraph(256, 128)
+        module = XLACompiler().compile(graph)
+        source = emit_module_source(module)
+        assert f"{len(module.kernels())} kernel(s)" in source
+        assert source.count('extern "C" __global__') == \
+            len(module.kernels())
+
+    def test_mean_reduce_divides(self):
+        from repro.ir.builder import GraphBuilder
+        b = GraphBuilder()
+        x = b.parameter("x", (64, 32))
+        b.output(b.reduce_mean(x, axes=(1,)))
+        kernel, _ = stitched_kernel(b.build())
+        source = emit_kernel_source(kernel)
+        assert "/= 32.0f" in source

@@ -1,0 +1,50 @@
+"""Smoke tests: every example script runs end to end.
+
+Examples are documentation that executes; these tests keep them from
+rotting as the library evolves.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def run_example(name, *args):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *args],
+        capture_output=True, text=True, timeout=300)
+
+
+class TestExamples:
+    def test_examples_exist(self):
+        assert "quickstart.py" in EXAMPLES
+        assert len(EXAMPLES) >= 5
+
+    @pytest.mark.parametrize("name", EXAMPLES)
+    def test_example_runs_clean(self, name):
+        result = run_example(name)
+        assert result.returncode == 0, result.stderr
+        assert result.stdout.strip()
+
+    def test_quickstart_reports_speedup(self):
+        result = run_example("quickstart.py")
+        assert "AStitch speedup over XLA" in result.stdout
+
+    def test_compare_compilers_accepts_model(self):
+        result = run_example("compare_compilers.py", "ASR")
+        assert result.returncode == 0
+        assert "ASR" in result.stdout
+        assert "AStitch" in result.stdout
+
+    def test_compare_compilers_rejects_unknown(self):
+        result = run_example("compare_compilers.py", "ResNet")
+        assert result.returncode != 0
+
+    def test_inspect_prints_cuda(self):
+        result = run_example("inspect_stitching.py")
+        assert "__global__" in result.stdout

@@ -1,0 +1,104 @@
+"""Tests for memory-footprint analysis and the nvprof-style summary."""
+
+import pytest
+
+from repro.analysis.footprint import measure_footprint
+from repro.analysis.profiler_report import gpu_summary, kernel_family
+from repro.compilers import TensorFlowCompiler, XLACompiler
+from repro.core import AStitchCompiler
+from repro.runtime import Engine
+from repro.workloads import build, micro
+
+
+class TestFootprint:
+    def test_stitching_reduces_peak(self):
+        graph = micro.fig7_subgraph(2048, 512)
+        tf = measure_footprint(TensorFlowCompiler().compile(graph))
+        xla = measure_footprint(XLACompiler().compile(graph))
+        astitch = measure_footprint(AStitchCompiler().compile(graph))
+        assert astitch.peak_intermediate_bytes \
+            <= xla.peak_intermediate_bytes
+        assert xla.peak_intermediate_bytes \
+            <= tf.peak_intermediate_bytes
+
+    def test_stitched_softmax_needs_no_intermediates(self):
+        # One kernel, everything in registers/shared memory: nothing to
+        # materialize between steps.
+        graph = micro.softmax_graph(1024, 256)
+        report = measure_footprint(AStitchCompiler().compile(graph))
+        assert report.peak_intermediate_bytes == 0
+        assert report.materialized_values == 0
+
+    def test_tf_materializes_everything(self):
+        graph = micro.softmax_graph(1024, 256)
+        report = measure_footprint(TensorFlowCompiler().compile(graph))
+        assert report.materialized_values >= 4
+        assert report.peak_intermediate_bytes > 0
+
+    def test_global_scratch_counted(self):
+        graph = micro.column_reduce_chain(size=512, steps=4)
+        report = measure_footprint(AStitchCompiler().compile(graph))
+        assert report.scratch_bytes > 0
+
+    def test_totals_consistent(self):
+        graph = build("CRNN")
+        report = measure_footprint(XLACompiler().compile(graph))
+        assert report.total_allocated_bytes \
+            >= report.peak_intermediate_bytes
+        assert report.materialized_values > 0
+
+
+class TestGpuSummary:
+    def test_kernel_family_stripping(self):
+        assert kernel_family("f_gelu.7") == "f_gelu"
+        assert kernel_family("op_add_12") == "op_add"
+        assert kernel_family("stitch_3") == "stitch"
+        assert kernel_family("plain") == "plain"
+
+    def test_summary_renders(self):
+        graph = build("CRNN")
+        profile = Engine().run(XLACompiler().compile(graph))
+        text = gpu_summary(profile)
+        assert "GPU summary" in text
+        assert "time%" in text
+        lines = text.splitlines()
+        assert len(lines) <= 3 + 15
+
+    def test_sorted_by_total_time(self):
+        graph = build("CRNN")
+        profile = Engine().run(XLACompiler().compile(graph))
+        text = gpu_summary(profile, top=5)
+        percents = [float(line.split("%")[0])
+                    for line in text.splitlines()[2:]
+                    if "%" in line.split()[0]]
+        assert percents == sorted(percents, reverse=True)
+
+    def test_includes_library_calls(self):
+        graph = build("BERT")
+        profile = Engine().run(AStitchCompiler().compile(graph))
+        text = gpu_summary(profile, top=30)
+        assert "dot" in text or "batch_matmul" in text
+
+
+class TestGraphStats:
+    def test_census_fields(self):
+        from repro.analysis.graph_stats import compute_stats
+        graph = build("Transformer")
+        stats = compute_stats(graph)
+        # Paper Sec 2.1: the Transformer contains ~1,666 reduces, about
+        # 10% of the computation operators; ours is the same order.
+        assert stats.reduces > 1000
+        assert stats.broadcasts > 1000
+        assert stats.subgraphs > 100
+        assert stats.one_to_many_sites > 500
+
+    def test_irregular_census_catches_fig6_shapes(self):
+        from repro.analysis.graph_stats import compute_stats
+        stats = compute_stats(build("DIEN"))
+        assert stats.irregular_reduces >= 1
+
+    def test_render_stats(self):
+        from repro.analysis.graph_stats import render_stats
+        text = render_stats(micro.softmax_graph(64, 32))
+        assert "census" in text
+        assert "reduce" in text

@@ -1,0 +1,212 @@
+"""Unit + property tests for the kernel cost model, barrier and counters."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gpu.barrier import global_barrier_latency
+from repro.gpu.costmodel import KernelCostInputs, KernelCostModel
+from repro.gpu.counters import PerfCounters, aggregate, top_time_fraction
+from repro.gpu.spec import V100, T4
+
+
+def make_inputs(**overrides):
+    base = dict(
+        grid_size=1000,
+        block_size=256,
+        bytes_read=64 * 1024 * 1024,
+        bytes_written=64 * 1024 * 1024,
+        fp_instructions=10_000_000,
+    )
+    base.update(overrides)
+    return KernelCostInputs(**base)
+
+
+class TestCostModel:
+    def setup_method(self):
+        self.model = KernelCostModel(V100)
+
+    def test_memory_bound_kernel_near_bandwidth(self):
+        inputs = make_inputs(grid_size=10_000, fp_instructions=0)
+        counters = self.model.price(inputs)
+        ideal = (inputs.bytes_read + inputs.bytes_written) / V100.dram_bandwidth
+        assert counters.duration == pytest.approx(ideal + 1e-6, rel=0.05)
+
+    def test_low_occupancy_slows_memory(self):
+        good = self.model.price(make_inputs(grid_size=10_000, block_size=256))
+        # Same bytes with tiny blocks: occupancy capped at 0.5 by the block
+        # limit -> still saturates; use a grid too small to fill the device.
+        bad = self.model.price(make_inputs(grid_size=8, block_size=256))
+        assert bad.duration > good.duration
+
+    def test_compute_bound_kernel(self):
+        inputs = make_inputs(grid_size=10_000, bytes_read=1024,
+                             bytes_written=1024,
+                             fp_instructions=1e10)
+        counters = self.model.price(inputs)
+        assert counters.duration > 1e10 / V100.fp32_throughput * 0.9
+
+    def test_counters_reflect_traffic(self):
+        counters = self.model.price(make_inputs())
+        assert counters.dram_read_transactions == 64 * 1024 * 1024 // 32
+        assert counters.dram_write_transactions == 64 * 1024 * 1024 // 32
+        assert counters.inst_fp_32 == 10_000_000
+
+    def test_barrier_adds_latency(self):
+        plain = self.model.price(make_inputs(grid_size=160, block_size=1024))
+        barred = self.model.price(make_inputs(grid_size=160, block_size=1024,
+                                              num_global_barriers=3))
+        expected = 3 * global_barrier_latency(V100, 160)
+        assert barred.duration - plain.duration == pytest.approx(expected)
+
+    def test_atomics_add_latency(self):
+        plain = self.model.price(make_inputs())
+        atom = self.model.price(make_inputs(num_atomic_rounds=2))
+        assert atom.duration - plain.duration == pytest.approx(
+            2 * V100.atomic_latency)
+
+    def test_library_kernel_roofline(self):
+        t = self.model.library_kernel_time(flops=1e9, bytes_moved=1e6)
+        assert t >= 1e9 / V100.fp32_throughput
+
+    @given(st.integers(1, 500_000),
+           st.sampled_from([32, 64, 128, 256, 512, 1024]),
+           st.floats(0, 1e9), st.floats(0, 1e9), st.floats(0, 1e10))
+    @settings(max_examples=60, deadline=None)
+    def test_duration_positive_and_monotone_in_bytes(
+            self, grid, block, br, bw, fp):
+        inputs = KernelCostInputs(grid, block, br, bw, fp)
+        base = self.model.price(inputs)
+        assert base.duration > 0
+        more = KernelCostInputs(grid, block, br * 2 + 1, bw, fp)
+        assert self.model.price(more).duration >= base.duration
+
+    def test_slower_device_is_slower(self):
+        inputs = make_inputs(grid_size=10_000)
+        v = KernelCostModel(V100).price(inputs)
+        t = KernelCostModel(T4).price(inputs)
+        assert t.duration > v.duration
+
+
+class TestGlobalBarrier:
+    def test_reproduces_table6_shape(self):
+        # Table 6: 2.53us @ 20 blocks ... 2.72us @ 160 blocks.
+        t20 = global_barrier_latency(V100, 20)
+        t160 = global_barrier_latency(V100, 160)
+        assert t20 == pytest.approx(2.53e-6, rel=0.02)
+        assert t160 == pytest.approx(2.72e-6, rel=0.02)
+
+    def test_below_launch_overhead(self):
+        assert global_barrier_latency(V100, 160) < V100.kernel_launch_latency
+
+    def test_monotone_in_blocks(self):
+        lat = [global_barrier_latency(V100, b) for b in range(20, 161, 20)]
+        assert lat == sorted(lat)
+
+    def test_deadlock_detection(self):
+        with pytest.raises(ValueError):
+            global_barrier_latency(V100, V100.max_resident_blocks + 1)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            global_barrier_latency(V100, -1)
+
+
+class TestCounterAggregation:
+    def test_aggregate_sums_and_weights(self):
+        a = PerfCounters(10, 20, 100, 0.5, 0.4, duration=1.0)
+        b = PerfCounters(30, 40, 200, 1.0, 0.8, duration=3.0)
+        total = aggregate([a, b])
+        assert total.dram_read_transactions == 40
+        assert total.dram_write_transactions == 60
+        assert total.inst_fp_32 == 300
+        assert total.duration == 4.0
+        assert total.achieved_occupancy == pytest.approx(
+            (0.5 * 1 + 1.0 * 3) / 4)
+        assert total.sm_efficiency == pytest.approx((0.4 * 1 + 0.8 * 3) / 4)
+
+    def test_aggregate_empty(self):
+        total = aggregate([])
+        assert total.duration == 0.0
+        assert total.inst_fp_32 == 0
+
+    def test_top_time_fraction(self):
+        counters = [PerfCounters(duration=d) for d in (5.0, 3.0, 1.0, 1.0)]
+        picked = top_time_fraction(counters, 0.8)
+        assert [c.duration for c in picked] == [5.0, 3.0]
+
+    def test_top_time_fraction_includes_at_least_one(self):
+        counters = [PerfCounters(duration=1.0)]
+        assert len(top_time_fraction(counters, 0.8)) == 1
+
+
+class TestGlobalMemoryPool:
+    def test_reuse(self):
+        from repro.gpu.memory import GlobalMemoryPool
+        pool = GlobalMemoryPool()
+        a = pool.allocate(1024, "a")
+        pool.release(a)
+        b = pool.allocate(512, "b")
+        assert b.buffer_id == a.buffer_id
+        assert pool.reused_allocations == 1
+        assert pool.fresh_allocations == 1
+
+    def test_peak_tracking(self):
+        from repro.gpu.memory import GlobalMemoryPool
+        pool = GlobalMemoryPool()
+        a = pool.allocate(1000)
+        pool.allocate(2000)
+        pool.release(a)
+        pool.allocate(500)
+        assert pool.peak_bytes == 3000
+
+    def test_oom(self):
+        from repro.gpu.memory import GlobalMemoryPool
+        pool = GlobalMemoryPool(capacity=100)
+        with pytest.raises(MemoryError):
+            pool.allocate(200)
+
+    def test_release_unknown_raises(self):
+        from repro.gpu.memory import Buffer, GlobalMemoryPool, MemorySpace
+        pool = GlobalMemoryPool()
+        stranger = Buffer(999, MemorySpace.GLOBAL, 8)
+        with pytest.raises(KeyError):
+            pool.release(stranger)
+
+
+class TestExplain:
+    def setup_method(self):
+        self.model = KernelCostModel(V100)
+
+    def test_memory_bound_explanation(self):
+        inputs = make_inputs(grid_size=10_000, fp_instructions=0)
+        explain = self.model.explain(inputs)
+        assert explain["bound_by"] == "memory"
+        assert explain["memory_time"] > explain["compute_time"]
+
+    def test_compute_bound_explanation(self):
+        inputs = make_inputs(grid_size=10_000, bytes_read=1024,
+                             bytes_written=1024, fp_instructions=1e11)
+        assert self.model.explain(inputs)["bound_by"] == "compute"
+
+    def test_wave_floor_explanation(self):
+        inputs = make_inputs(grid_size=750_000, block_size=32,
+                             bytes_read=1024, bytes_written=1024,
+                             fp_instructions=0)
+        assert self.model.explain(inputs)["bound_by"] == "wave_floor"
+
+    def test_explain_consistent_with_price(self):
+        inputs = make_inputs(num_global_barriers=2)
+        explain = self.model.explain(inputs)
+        priced = self.model.price(inputs).duration
+        components = max(explain["memory_time"], explain["compute_time"],
+                         explain["wave_floor"]) \
+            + explain["barrier_time"] + explain["atomic_time"]
+        assert priced == pytest.approx(components + 1e-6)  # + ramp
+
+    def test_barrier_and_atomic_terms(self):
+        inputs = make_inputs(grid_size=160, block_size=1024,
+                             num_global_barriers=1, num_atomic_rounds=3)
+        explain = self.model.explain(inputs)
+        assert explain["barrier_time"] > 0
+        assert explain["atomic_time"] == pytest.approx(
+            3 * V100.atomic_latency)

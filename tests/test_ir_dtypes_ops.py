@@ -1,0 +1,96 @@
+"""Coverage tests for the dtype table and operator metadata."""
+
+import pytest
+
+from repro.ir.dtypes import (
+    F16,
+    F32,
+    I32,
+    PRED,
+    TF32,
+    all_dtypes,
+    dtype_from_name,
+)
+from repro.ir import ops
+from repro.ir.ops import OpKind, operator
+
+
+class TestDtypes:
+    def test_lookup_by_name(self):
+        assert dtype_from_name("f32") is F32
+        assert dtype_from_name("pred") is PRED
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            dtype_from_name("bf16")
+
+    def test_all_dtypes_distinct(self):
+        names = [t.name for t in all_dtypes()]
+        assert len(names) == len(set(names))
+
+    def test_byte_widths(self):
+        assert F16.nbytes == 2
+        assert F32.nbytes == 4
+        assert TF32.nbytes == 4  # full 32-bit storage, math-only change
+        assert PRED.nbytes == 1
+
+    def test_floatness(self):
+        assert F32.is_floating
+        assert not I32.is_floating
+
+    def test_numpy_mapping(self):
+        import numpy as np
+        assert F16.to_numpy() == np.float16
+        assert I32.to_numpy() == np.int32
+
+    def test_str(self):
+        assert str(F32) == "f32"
+
+
+class TestOperatorTable:
+    def test_every_kind_has_metadata(self):
+        for kind in OpKind:
+            record = operator(kind)
+            assert record.kind is kind
+            assert record.fp_cost >= 0
+
+    def test_heavy_flags(self):
+        assert operator(OpKind.TANH).heavy
+        assert operator(OpKind.POWER).heavy
+        assert not operator(OpKind.ADD).heavy
+
+    def test_heavy_costs_exceed_light(self):
+        heaviest_light = max(operator(k).fp_cost
+                             for k in ops.LIGHT_ELEMENTWISE)
+        lightest_heavy = min(operator(k).fp_cost
+                             for k in ops.HEAVY_ELEMENTWISE)
+        assert lightest_heavy >= heaviest_light
+
+    def test_partitions_disjoint(self):
+        assert not (ops.LIGHT_ELEMENTWISE & ops.HEAVY_ELEMENTWISE)
+        assert not (ops.ELEMENTWISE & ops.COMPUTE_INTENSIVE)
+        assert not (ops.MEMORY_INTENSIVE & ops.COMPUTE_INTENSIVE)
+        assert not (ops.SOURCES & ops.MEMORY_INTENSIVE)
+
+    def test_partitions_cover_all_kinds(self):
+        covered = (ops.MEMORY_INTENSIVE | ops.COMPUTE_INTENSIVE
+                   | ops.SOURCES)
+        assert covered == frozenset(OpKind)
+
+    def test_data_movement_is_free_fp(self):
+        for kind in ops.DATA_MOVEMENT:
+            assert operator(kind).fp_cost == 0.0
+
+    def test_predicates(self):
+        assert ops.is_memory_intensive(OpKind.REDUCE)
+        assert ops.is_compute_intensive(OpKind.DOT)
+        assert ops.is_elementwise(OpKind.TANH)
+        assert not ops.is_elementwise(OpKind.BROADCAST)
+        assert ops.is_heavy_elementwise(OpKind.GELU)
+        assert not ops.is_heavy_elementwise(OpKind.ADD)
+
+    def test_arities(self):
+        assert operator(OpKind.SELECT).arity == 3
+        assert operator(OpKind.ADD).arity == 2
+        assert operator(OpKind.TANH).arity == 1
+        assert operator(OpKind.PARAMETER).arity == 0

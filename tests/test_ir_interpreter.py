@@ -1,0 +1,246 @@
+"""Unit + property tests for the NumPy reference interpreter."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ir.builder import GraphBuilder
+from repro.ir.interpreter import evaluate, random_feeds
+from repro.ir.ops import ReduceKind
+
+
+class TestElementwise:
+    def test_add(self):
+        b = GraphBuilder()
+        x = b.parameter("x", (4,))
+        y = b.parameter("y", (4,))
+        out = b.add(x, y)
+        b.output(out)
+        g = b.build()
+        res = evaluate(g, {"x": np.ones(4), "y": np.full(4, 2.0)})
+        np.testing.assert_allclose(res[out.name], 3.0)
+
+    def test_tanh(self):
+        b = GraphBuilder()
+        x = b.parameter("x", (3,))
+        out = b.tanh(x)
+        b.output(out)
+        res = evaluate(b.build(), {"x": np.array([0.0, 1.0, -1.0])})
+        np.testing.assert_allclose(res[out.name], np.tanh([0.0, 1.0, -1.0]),
+                                   rtol=1e-6)
+
+    def test_sigmoid_matches_definition(self):
+        b = GraphBuilder()
+        x = b.parameter("x", (5,))
+        out = b.sigmoid(x)
+        b.output(out)
+        vals = np.linspace(-3, 3, 5)
+        res = evaluate(b.build(), {"x": vals})
+        np.testing.assert_allclose(res[out.name], 1 / (1 + np.exp(-vals)),
+                                   rtol=1e-6)
+
+    def test_erf_accuracy(self):
+        import math
+        b = GraphBuilder()
+        x = b.parameter("x", (7,))
+        out = b.erf(x)
+        b.output(out)
+        vals = np.linspace(-2, 2, 7)
+        res = evaluate(b.build(), {"x": vals})
+        exact = np.array([math.erf(v) for v in vals])
+        np.testing.assert_allclose(res[out.name], exact, atol=2e-6)
+
+    def test_select(self):
+        b = GraphBuilder()
+        p = b.parameter("p", (4,))
+        x = b.parameter("x", (4,))
+        y = b.parameter("y", (4,))
+        out = b.select(b.compare_gt(p, b.scalar_like(0.0, p)), x, y)
+        b.output(out)
+        res = evaluate(b.build(), {
+            "p": np.array([1.0, -1.0, 2.0, -2.0]),
+            "x": np.full(4, 10.0),
+            "y": np.full(4, 20.0),
+        })
+        np.testing.assert_allclose(res[out.name], [10, 20, 10, 20])
+
+
+class TestReduceBroadcast:
+    def test_row_reduce_sum(self):
+        b = GraphBuilder()
+        x = b.parameter("x", (2, 3))
+        out = b.reduce_sum(x, axes=(1,))
+        b.output(out)
+        data = np.arange(6, dtype=np.float32).reshape(2, 3)
+        res = evaluate(b.build(), {"x": data})
+        np.testing.assert_allclose(res[out.name], data.sum(axis=1))
+
+    @pytest.mark.parametrize("kind,npfn", [
+        (ReduceKind.SUM, np.sum),
+        (ReduceKind.MAX, np.max),
+        (ReduceKind.MIN, np.min),
+        (ReduceKind.MEAN, np.mean),
+        (ReduceKind.PROD, np.prod),
+    ])
+    def test_reduce_kinds(self, kind, npfn):
+        b = GraphBuilder()
+        x = b.parameter("x", (4, 5))
+        out = b.reduce(x, axes=(0,), kind=kind)
+        b.output(out)
+        data = np.random.default_rng(0).uniform(0.5, 1.5, (4, 5))
+        res = evaluate(b.build(), {"x": data})
+        np.testing.assert_allclose(res[out.name], npfn(data, axis=0),
+                                   rtol=1e-6)
+
+    def test_broadcast_rows_replicates(self):
+        b = GraphBuilder()
+        x = b.parameter("x", (2,))
+        out = b.broadcast_rows(x, (2, 4))
+        b.output(out)
+        res = evaluate(b.build(), {"x": np.array([1.0, 2.0])})
+        expected = np.array([[1, 1, 1, 1], [2, 2, 2, 2]], dtype=float)
+        np.testing.assert_allclose(res[out.name], expected)
+
+    def test_broadcast_middle_axis(self):
+        b = GraphBuilder()
+        x = b.parameter("x", (3,))
+        out = b.broadcast(x, (2, 3, 4), dims=(1,))
+        b.output(out)
+        res = evaluate(b.build(), {"x": np.array([1.0, 2.0, 3.0])})
+        assert res[out.name].shape == (2, 3, 4)
+        np.testing.assert_allclose(res[out.name][0, :, 0], [1, 2, 3])
+        np.testing.assert_allclose(res[out.name][1, 2, :], 3.0)
+
+    def test_softmax_composition(self):
+        # softmax(x) built from max / sub / exp / sum / div with broadcasts.
+        b = GraphBuilder()
+        x = b.parameter("x", (2, 8))
+        mx = b.reduce_max(x, axes=(1,))
+        centered = b.subtract(x, b.broadcast_rows(mx, x.shape))
+        e = b.exp(centered)
+        denom = b.reduce_sum(e, axes=(1,))
+        out = b.divide(e, b.broadcast_rows(denom, x.shape))
+        b.output(out)
+        data = np.random.default_rng(1).standard_normal((2, 8))
+        res = evaluate(b.build(), {"x": data})
+        shifted = np.exp(data - data.max(axis=1, keepdims=True))
+        expected = shifted / shifted.sum(axis=1, keepdims=True)
+        np.testing.assert_allclose(res[out.name], expected, rtol=1e-5)
+
+
+class TestComputeIntensive:
+    def test_dot_matches_numpy(self):
+        b = GraphBuilder()
+        x = b.parameter("x", (3, 4))
+        w = b.parameter("w", (4, 5))
+        out = b.dot(x, w)
+        b.output(out)
+        rng = np.random.default_rng(2)
+        xv, wv = rng.standard_normal((3, 4)), rng.standard_normal((4, 5))
+        res = evaluate(b.build(), {"x": xv, "w": wv})
+        np.testing.assert_allclose(res[out.name], xv @ wv, rtol=1e-5)
+
+    def test_batch_matmul(self):
+        b = GraphBuilder()
+        x = b.parameter("x", (2, 3, 4))
+        y = b.parameter("y", (2, 4, 5))
+        out = b.batch_matmul(x, y)
+        b.output(out)
+        rng = np.random.default_rng(3)
+        xv = rng.standard_normal((2, 3, 4))
+        yv = rng.standard_normal((2, 4, 5))
+        res = evaluate(b.build(), {"x": xv, "y": yv})
+        np.testing.assert_allclose(res[out.name], xv @ yv, rtol=1e-5)
+
+    def test_library_surrogates_deterministic(self):
+        b = GraphBuilder()
+        x = b.parameter("x", (4, 4))
+        f = b.parameter("f", (3, 3))
+        out = b.convolution(x, f, (4, 4))
+        b.output(out)
+        g = b.build()
+        feeds = random_feeds(g, seed=7)
+        r1 = evaluate(g, feeds)
+        r2 = evaluate(g, feeds)
+        np.testing.assert_array_equal(r1[out.name], r2[out.name])
+
+
+class TestFeeds:
+    def test_missing_feed_raises(self):
+        b = GraphBuilder()
+        x = b.parameter("x", (4,))
+        b.output(b.tanh(x))
+        with pytest.raises(KeyError):
+            evaluate(b.build(), {})
+
+    def test_wrong_shape_feed_raises(self):
+        b = GraphBuilder()
+        x = b.parameter("x", (4,))
+        b.output(b.tanh(x))
+        with pytest.raises(ValueError):
+            evaluate(b.build(), {"x": np.ones(5)})
+
+    def test_random_feeds_cover_all_params(self):
+        b = GraphBuilder()
+        x = b.parameter("x", (4,))
+        y = b.parameter("y", (4,))
+        b.output(b.add(x, y))
+        g = b.build()
+        feeds = random_feeds(g)
+        assert set(feeds) == {"x", "y"}
+
+
+@st.composite
+def elementwise_chains(draw):
+    """Random chains of unary element-wise ops over a random shape."""
+    shape = tuple(draw(st.lists(st.integers(1, 8), min_size=1, max_size=3)))
+    ops = draw(st.lists(
+        st.sampled_from(["tanh", "exp", "sigmoid", "relu", "negate", "abs"]),
+        min_size=1, max_size=6))
+    return shape, ops
+
+
+class TestProperties:
+    @given(elementwise_chains())
+    @settings(max_examples=40, deadline=None)
+    def test_chain_matches_numpy(self, chain):
+        shape, ops = chain
+        b = GraphBuilder()
+        x = b.parameter("x", shape)
+        node = x
+        for op in ops:
+            node = getattr(b, op)(node)
+        b.output(node)
+        g = b.build()
+        data = np.random.default_rng(0).uniform(-1, 1, shape)
+        res = evaluate(g, {"x": data})
+
+        # Track the interpreter's fp32 arithmetic exactly so stacked
+        # exps overflow to inf in both computations.
+        ref = data.astype("float32")
+        fns = {
+            "tanh": np.tanh,
+            "exp": np.exp,
+            "sigmoid": lambda v: 1 / (1 + np.exp(-v)),
+            "relu": lambda v: np.maximum(v, 0),
+            "negate": lambda v: -v,
+            "abs": np.abs,
+        }
+        for op in ops:
+            ref = fns[op](ref)
+        np.testing.assert_allclose(res[node.name], ref, rtol=1e-4,
+                                   atol=1e-6)
+
+    @given(st.integers(1, 6), st.integers(1, 50))
+    @settings(max_examples=30, deadline=None)
+    def test_reduce_then_broadcast_roundtrip(self, rows, cols):
+        b = GraphBuilder()
+        x = b.parameter("x", (rows, cols))
+        r = b.reduce_sum(x, axes=(1,))
+        out = b.broadcast_rows(r, (rows, cols))
+        b.output(out)
+        data = np.random.default_rng(1).standard_normal((rows, cols))
+        res = evaluate(b.build(), {"x": data})
+        expected = np.repeat(data.sum(axis=1, keepdims=True), cols, axis=1)
+        np.testing.assert_allclose(res[out.name], expected, rtol=1e-4,
+                                   atol=1e-4)

@@ -1,0 +1,58 @@
+"""Property tests: the CUDA emitter stays well-formed on random graphs."""
+
+import re
+
+from hypothesis import given, settings
+
+from repro.codegen.cuda_source import emit_kernel_source
+from repro.core import AStitchCompiler
+
+from tests.test_property_compilers import random_graphs
+
+
+def _ident(name: str) -> str:
+    return name.replace(".", "_").replace("-", "_")
+
+
+class TestEmitterProperties:
+    @given(random_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_braces_balanced(self, graph):
+        module = AStitchCompiler().compile(graph)
+        for kernel in module.kernels():
+            source = emit_kernel_source(kernel)
+            assert source.count("{") == source.count("}")
+            assert source.count("(") == source.count(")")
+
+    @given(random_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_all_io_in_signature(self, graph):
+        module = AStitchCompiler().compile(graph)
+        for kernel in module.kernels():
+            source = emit_kernel_source(kernel)
+            for node in kernel.inputs:
+                assert f"in_{_ident(node.name)}" in source
+            for node in kernel.outputs:
+                assert f"out_{_ident(node.name)}" in source
+
+    @given(random_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_every_output_stored(self, graph):
+        module = AStitchCompiler().compile(graph)
+        for kernel in module.kernels():
+            source = emit_kernel_source(kernel)
+            for node in kernel.outputs:
+                target = f"out_{_ident(node.name)}"
+                stores = re.findall(
+                    rf"(?:{target}\[\w+\] =|{target}\[row\] =|"
+                    rf"atomicAdd\(&{target})", source)
+                assert stores, f"{node.name} never stored:\n{source}"
+
+    @given(random_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_barrier_count_matches_kernel(self, graph):
+        module = AStitchCompiler().compile(graph)
+        for kernel in module.kernels():
+            source = emit_kernel_source(kernel)
+            assert source.count("grid_bar.sync()") \
+                == kernel.num_global_barriers

@@ -1,0 +1,112 @@
+"""Property suite over rank-3 tensors, transposes and multi-axis
+reduces — the paths the 2-D fuzzer cannot reach (locality through
+transposed values, batched reshapes, column-broadcasts)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.compilers import TensorFlowCompiler, TVMCompiler, XLACompiler
+from repro.compilers.verify import verify_module
+from repro.core import AStitchCompiler
+from repro.ir.builder import GraphBuilder
+from repro.ir.interpreter import evaluate, random_feeds
+
+COMPILERS = [TensorFlowCompiler, XLACompiler, TVMCompiler,
+             AStitchCompiler]
+
+
+@st.composite
+def rank3_graphs(draw):
+    b = draw(st.integers(2, 4))
+    s = b + draw(st.integers(1, 3))        # distinct sizes keep the
+    d = s + draw(st.integers(1, 4))        # shape->axes mapping unique
+    builder = GraphBuilder("rank3")
+    pool = [builder.parameter("x0", (b, s, d)),
+            builder.parameter("x1", (b, s, d))]
+
+    def as_full(node):
+        if node.shape == (b, s, d):
+            return node
+        if node.shape == (b, s):
+            return builder.broadcast(node, (b, s, d), dims=(0, 1))
+        if node.shape == (b, d):
+            return builder.broadcast(node, (b, s, d), dims=(0, 2))
+        if node.shape == (s, d):
+            return builder.broadcast(node, (b, s, d), dims=(1, 2))
+        if node.shape == (b,):
+            return builder.broadcast(node, (b, s, d), dims=(0,))
+        if node.shape == (s,):
+            return builder.broadcast(node, (b, s, d), dims=(1,))
+        if node.shape == (d,):
+            return builder.broadcast(node, (b, s, d), dims=(2,))
+        raise AssertionError(node.shape)
+
+    for i in range(draw(st.integers(3, 12))):
+        choice = draw(st.integers(0, 7))
+        if choice <= 2:
+            op = draw(st.sampled_from(["tanh", "relu", "sigmoid",
+                                       "abs"]))
+            pool.append(getattr(builder, op)(
+                as_full(draw(st.sampled_from(pool)))))
+        elif choice <= 4:
+            op = draw(st.sampled_from(["add", "multiply", "maximum"]))
+            lhs = as_full(draw(st.sampled_from(pool)))
+            rhs = as_full(draw(st.sampled_from(pool)))
+            pool.append(getattr(builder, op)(lhs, rhs))
+        elif choice == 5:
+            axes = draw(st.sampled_from([(2,), (1,), (0,), (1, 2),
+                                         (0, 1)]))
+            pool.append(builder.reduce_sum(
+                as_full(draw(st.sampled_from(pool))), axes=axes))
+        elif choice == 6:
+            perm = draw(st.sampled_from([(0, 2, 1), (1, 0, 2),
+                                         (2, 1, 0)]))
+            src = as_full(draw(st.sampled_from(pool)))
+            t = builder.transpose(src, perm)
+            # Transpose back so the value rejoins the common shape.
+            inverse = [0, 0, 0]
+            for idx, p in enumerate(perm):
+                inverse[p] = idx
+            pool.append(builder.transpose(t, inverse))
+        else:
+            src = as_full(draw(st.sampled_from(pool)))
+            flat = builder.reshape(src, (b * s, d))
+            pool.append(builder.reshape(builder.tanh(flat), (b, s, d)))
+
+    builder.output(pool[-1])
+    if len(pool) > 3:
+        builder.output(as_full(pool[-2]))
+    return builder.build()
+
+
+class TestRank3Properties:
+    @given(rank3_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_numerics_all_compilers(self, graph):
+        feeds = random_feeds(graph, seed=5, scale=0.5)
+        want = evaluate(graph, feeds)
+        for compiler_cls in COMPILERS:
+            got = compiler_cls().compile(graph).execute(feeds)
+            assert set(got) == set(want)
+            for key in want:
+                np.testing.assert_allclose(
+                    got[key], want[key], rtol=1e-3, atol=1e-4,
+                    err_msg=compiler_cls.__name__)
+
+    @given(rank3_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_modules_verify(self, graph):
+        for compiler_cls in (XLACompiler, AStitchCompiler):
+            verify_module(compiler_cls().compile(graph))
+
+    @given(rank3_graphs())
+    @settings(max_examples=20, deadline=None)
+    def test_optimize_then_stitch(self, graph):
+        from repro.ir.passes import optimize
+        optimized, _ = optimize(graph)
+        feeds = random_feeds(graph, seed=6, scale=0.5)
+        want = evaluate(graph, feeds)
+        got = AStitchCompiler().compile(optimized).execute(feeds)
+        for (wk, wv), (gk, gv) in zip(sorted(want.items()),
+                                      sorted(got.items())):
+            np.testing.assert_allclose(gv, wv, rtol=1e-3, atol=1e-4)

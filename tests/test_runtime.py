@@ -1,0 +1,141 @@
+"""Tests for the runtime engine, profiling, AMP and analysis helpers."""
+
+import pytest
+
+from repro.analysis import (
+    breakdown_vs_baseline,
+    compare_compilers,
+    geomean,
+    render_table,
+)
+from repro.compilers import TensorFlowCompiler, TensorRTCompiler, XLACompiler
+from repro.core import AStitchCompiler
+from repro.gpu.spec import T4, V100
+from repro.ir.builder import GraphBuilder
+from repro.ir.dtypes import F16
+from repro.runtime import Engine, convert_to_amp
+from repro.workloads import micro
+from repro.workloads.bert import build_bert
+
+
+def probe_graph():
+    return micro.fig7_subgraph(rows=4096, cols=256)
+
+
+class TestEngine:
+    def test_profile_categories(self):
+        graph = build_bert(batch=2, seq=8, hidden=16, num_layers=1,
+                           ffn_dim=32, heads=2)
+        profile = Engine().run(XLACompiler().compile(graph))
+        categories = {s.category for s in profile.steps}
+        assert categories == {"mem", "compute", "memcpy"}
+        assert profile.total_time == pytest.approx(
+            profile.mem_time + profile.compute_time
+            + profile.overhead_time)
+
+    def test_framework_mode_has_higher_dispatch(self):
+        graph = probe_graph()
+        engine = Engine()
+        tf = engine.dispatch_overhead(TensorFlowCompiler().compile(graph))
+        xla = engine.dispatch_overhead(XLACompiler().compile(graph))
+        assert tf > xla
+
+    def test_kernel_counts_in_profile(self):
+        graph = probe_graph()
+        profile = Engine().run(XLACompiler().compile(graph))
+        assert profile.mem_kernel_count == len(
+            XLACompiler().compile(graph).kernels())
+
+    def test_counters_aggregate(self):
+        graph = probe_graph()
+        profile = Engine().run(XLACompiler().compile(graph))
+        agg = profile.aggregate_mem_counters()
+        assert agg.dram_read_transactions > 0
+        assert 0 < agg.achieved_occupancy <= 1
+
+    def test_astitch_faster_on_probe(self):
+        graph = probe_graph()
+        engine = Engine()
+        t_xla = engine.run(XLACompiler().compile(graph)).total_time
+        t_astitch = engine.run(AStitchCompiler().compile(graph)).total_time
+        assert t_astitch < t_xla
+
+    def test_t4_slower_than_v100(self):
+        graph = probe_graph()
+        module = XLACompiler().compile(graph)
+        t_v100 = Engine(V100).run(module).total_time
+        module_t4 = XLACompiler().compile(graph, T4)
+        t_t4 = Engine(T4).run(module_t4).total_time
+        assert t_t4 > t_v100
+
+
+class TestAMP:
+    def test_dtypes_halved(self):
+        graph = probe_graph()
+        amp = convert_to_amp(graph)
+        assert all(n.dtype is F16 for n in amp.nodes
+                   if n.dtype.is_floating)
+        assert len(amp) == len(graph)
+
+    def test_amp_outputs_preserved(self):
+        graph = probe_graph()
+        amp = convert_to_amp(graph)
+        assert len(amp.outputs) == len(graph.outputs)
+
+    def test_amp_reduces_memory_time(self):
+        graph = probe_graph()
+        engine = Engine()
+        fp32 = engine.run(XLACompiler().compile(graph))
+        fp16 = engine.run(XLACompiler().compile(convert_to_amp(graph)))
+        assert fp16.mem_time < fp32.mem_time
+
+    def test_amp_preserves_relative_speedup(self):
+        # Fig 12: AStitch's advantage survives under AMP.
+        graph = probe_graph()
+        amp = convert_to_amp(graph)
+        engine = Engine()
+        xla = engine.run(XLACompiler().compile(amp)).total_time
+        astitch = engine.run(AStitchCompiler().compile(amp)).total_time
+        assert astitch < xla
+
+
+class TestAnalysis:
+    def test_compare_compilers(self):
+        graph = probe_graph()
+        result = compare_compilers(
+            graph, [TensorFlowCompiler(), XLACompiler(),
+                    AStitchCompiler()])
+        assert result.speedup("AStitch") > 1.0
+        assert result.speedup("AStitch", versus="XLA") > 1.0
+        assert result.speedup("TensorFlow") == pytest.approx(1.0)
+
+    def test_compare_skips_rejecting_compilers(self):
+        b = GraphBuilder("x-train")
+        x = b.parameter("x", (8,))
+        b.output(b.tanh(x))
+        result = compare_compilers(
+            b.build(), [TensorFlowCompiler(), TensorRTCompiler()])
+        assert "TensorRT" not in result.profiles
+        assert "TensorFlow" in result.profiles
+
+    def test_breakdown_normalized_to_baseline(self):
+        graph = probe_graph()
+        result = compare_compilers(
+            graph, [XLACompiler(), AStitchCompiler()], baseline="XLA")
+        slices = breakdown_vs_baseline(result.profiles, baseline="XLA")
+        xla_slice = next(s for s in slices if s.compiler == "XLA")
+        assert xla_slice.total == pytest.approx(1.0)
+        astitch_slice = next(s for s in slices if s.compiler == "AStitch")
+        assert astitch_slice.total < 1.0
+
+    def test_geomean(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            geomean([])
+
+    def test_render_table(self):
+        text = render_table(["a", "bb"], [[1, 2], [30, 4]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5

@@ -1,0 +1,88 @@
+"""Tests for the shape-specialized JIT cache."""
+
+import pytest
+
+from repro.core import AStitchCompiler
+from repro.runtime.jit import JitCache, bucket_dims
+from repro.workloads import micro
+
+
+def softmax_factory(rows=8, cols=8):
+    return micro.softmax_graph(rows, cols)
+
+
+class TestBucketing:
+    def test_exact_policy_identity(self):
+        assert bucket_dims({"rows": 100}, "exact") == {"rows": 100}
+
+    def test_pow2_rounds_up(self):
+        assert bucket_dims({"rows": 100, "cols": 64}, "pow2") == {
+            "rows": 128, "cols": 64}
+
+    def test_pow2_handles_one(self):
+        assert bucket_dims({"n": 1}, "pow2") == {"n": 1}
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            bucket_dims({"n": 4}, "fibonacci")
+
+    def test_cache_rejects_bad_policy_eagerly(self):
+        with pytest.raises(ValueError):
+            JitCache(AStitchCompiler(), policy="nope")
+
+
+class TestJitCache:
+    def test_repeat_shape_hits(self):
+        cache = JitCache(AStitchCompiler(), policy="exact")
+        m1 = cache.get(softmax_factory, {"rows": 16, "cols": 32})
+        m2 = cache.get(softmax_factory, {"rows": 16, "cols": 32})
+        assert m1 is m2
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_distinct_shapes_miss_under_exact(self):
+        cache = JitCache(AStitchCompiler(), policy="exact")
+        for rows in (10, 11, 12, 13):
+            cache.get(softmax_factory, {"rows": rows, "cols": 8})
+        assert cache.stats.misses == 4
+        assert len(cache) == 4
+
+    def test_pow2_shares_one_bucket(self):
+        cache = JitCache(AStitchCompiler(), policy="pow2")
+        modules = {id(cache.get(softmax_factory, {"rows": r, "cols": 8}))
+                   for r in (9, 10, 13, 16)}
+        # 9..16 all round to 16: one compilation serves the range.
+        assert len(modules) == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 3
+
+    def test_compile_seconds_paid_once(self):
+        cache = JitCache(AStitchCompiler(), policy="pow2")
+        cache.get(softmax_factory, {"rows": 33, "cols": 8})
+        paid = cache.stats.compile_seconds
+        assert paid > 0
+        cache.get(softmax_factory, {"rows": 40, "cols": 8})
+        assert cache.stats.compile_seconds == paid
+
+    def test_padding_waste(self):
+        cache = JitCache(AStitchCompiler(), policy="pow2")
+        waste = cache.padding_waste({"rows": 9, "cols": 8})
+        assert waste == pytest.approx(16 / 9 - 1)
+        exact = JitCache(AStitchCompiler(), policy="exact")
+        assert exact.padding_waste({"rows": 9, "cols": 8}) == 0.0
+
+    def test_bucketed_module_covers_request(self):
+        cache = JitCache(AStitchCompiler(), policy="pow2")
+        module = cache.get(softmax_factory, {"rows": 100, "cols": 100})
+        param = module.graph.parameters[0]
+        assert param.shape == (128, 128)
+
+    def test_different_factories_do_not_collide(self):
+        def other_factory(rows=8, cols=8):
+            return micro.row_reduce(rows, cols)
+
+        cache = JitCache(AStitchCompiler(), policy="exact")
+        m1 = cache.get(softmax_factory, {"rows": 8, "cols": 8})
+        m2 = cache.get(other_factory, {"rows": 8, "cols": 8})
+        assert m1 is not m2
+        assert cache.stats.misses == 2

@@ -1,0 +1,90 @@
+"""Tests for the Session façade and timeline trace export."""
+
+import numpy as np
+import pytest
+
+from repro.compilers import XLACompiler
+from repro.core import AStitchCompiler
+from repro.gpu.spec import T4
+from repro.ir.interpreter import evaluate, random_feeds
+from repro.runtime.session import Session
+from repro.runtime.timeline import schedule
+from repro.runtime.trace import timeline_to_chrome_trace
+from repro.workloads import micro
+
+
+class TestSession:
+    def test_run_matches_interpreter(self):
+        graph = micro.fig7_subgraph(32, 16)
+        session = Session()
+        feeds = random_feeds(graph, seed=41)
+        got = session.run(graph, feeds)
+        want = evaluate(graph, feeds)
+        assert set(got) == set(want)
+        for key in want:
+            np.testing.assert_allclose(got[key], want[key], rtol=1e-4,
+                                       atol=1e-5)
+
+    def test_compiles_once(self):
+        graph = micro.softmax_graph(16, 8)
+        session = Session()
+        feeds = random_feeds(graph, seed=42)
+        m1 = session.module(graph)
+        session.run(graph, feeds)
+        session.run(graph, feeds)
+        assert session.module(graph) is m1
+        assert session.iterations == 2
+
+    def test_profile_cached(self):
+        graph = micro.softmax_graph(16, 8)
+        session = Session()
+        assert session.profile(graph) is session.profile(graph)
+        assert session.profile(graph).total_time > 0
+
+    def test_compile_seconds_accumulate(self):
+        session = Session()
+        session.module(micro.softmax_graph(16, 8))
+        first = session.compile_seconds
+        session.module(micro.fig7_subgraph(16, 8))
+        assert session.compile_seconds > first
+
+    def test_optimization_can_be_disabled(self):
+        graph = micro.softmax_graph(16, 8)
+        plain = Session(optimize_graphs=False)
+        assert plain.module(graph).graph is graph
+
+    def test_alternate_compiler_and_device(self):
+        graph = micro.softmax_graph(16, 8)
+        session = Session(compiler=XLACompiler(), spec=T4,
+                          optimize_graphs=False)
+        feeds = random_feeds(graph, seed=43)
+        got = session.run(graph, feeds)
+        want = evaluate(graph, feeds)
+        for key in want:
+            np.testing.assert_allclose(got[key], want[key], rtol=1e-4,
+                                       atol=1e-5)
+        assert "T4" in repr(session)
+
+    def test_output_names_preserved_under_optimization(self):
+        graph = micro.fig7_subgraph(16, 8)
+        session = Session(optimize_graphs=True)
+        feeds = random_feeds(graph, seed=44)
+        got = session.run(graph, feeds)
+        assert set(got) == {out.name for out in graph.outputs}
+
+
+class TestTimelineTrace:
+    def test_streams_become_tracks(self):
+        module = XLACompiler().compile(micro.fig7_subgraph(128, 64))
+        result = schedule(module, num_streams=2, bandwidth_sharing=False)
+        trace = timeline_to_chrome_trace(result)
+        tids = {e["tid"] for e in trace["traceEvents"]}
+        assert 0 in tids          # copy engine
+        assert {1, 2} & tids      # compute streams
+        assert trace["otherData"]["num_streams"] == 2
+
+    def test_event_count(self):
+        module = XLACompiler().compile(micro.softmax_graph(64, 32))
+        result = schedule(module, num_streams=1)
+        trace = timeline_to_chrome_trace(result)
+        assert len(trace["traceEvents"]) == len(result.events)

@@ -1,0 +1,96 @@
+"""Tests for the multi-stream timeline scheduler."""
+
+import pytest
+
+from repro.compilers import XLACompiler
+from repro.core import AStitchCompiler
+from repro.runtime import Engine
+from repro.runtime.timeline import TimelineResult, schedule
+from repro.workloads import micro
+from tests.test_core_scope import two_branch_graph
+
+
+def xla_module(graph=None):
+    return XLACompiler().compile(graph or micro.fig7_subgraph(512, 256))
+
+
+class TestSingleStream:
+    def test_events_cover_all_steps(self):
+        module = xla_module()
+        result = schedule(module, num_streams=1)
+        assert len(result.events) == len(module.steps)
+
+    def test_no_overlap_on_one_stream(self):
+        result = schedule(xla_module(), num_streams=1)
+        kernel_events = sorted((e for e in result.events
+                                if e.stream >= 0),
+                               key=lambda e: e.start)
+        for prev, nxt in zip(kernel_events, kernel_events[1:]):
+            assert nxt.start >= prev.end - 1e-12
+
+    def test_dependencies_respected(self):
+        module = xla_module()
+        result = schedule(module, num_streams=1)
+        by_name = {e.name: e for e in result.events}
+        # Every kernel that reads another kernel's output starts after it.
+        from repro.codegen.kernel import Kernel
+        producers = {}
+        for step in module.steps:
+            if isinstance(step, Kernel):
+                for out in step.outputs:
+                    producers[out] = step.name
+        for step in module.steps:
+            if not isinstance(step, Kernel):
+                continue
+            for value in step.inputs:
+                if value in producers:
+                    assert (by_name[step.name].start
+                            >= by_name[producers[value]].end - 1e-12)
+
+    def test_makespan_close_to_serial_engine(self):
+        module = xla_module()
+        serial = Engine().run(module).total_time
+        result = schedule(module, num_streams=1)
+        assert result.makespan <= serial * 1.05
+        assert result.makespan >= serial * 0.5
+
+
+class TestMultiStream:
+    def test_independent_branches_overlap(self):
+        module = xla_module(two_branch_graph())
+        one = schedule(module, num_streams=1, bandwidth_sharing=False)
+        four = schedule(module, num_streams=4, bandwidth_sharing=False)
+        assert four.makespan <= one.makespan + 1e-12
+
+    def test_bandwidth_sharing_penalizes_overlap(self):
+        module = xla_module(two_branch_graph())
+        free = schedule(module, num_streams=4, bandwidth_sharing=False)
+        shared = schedule(module, num_streams=4, bandwidth_sharing=True)
+        assert shared.makespan >= free.makespan - 1e-12
+
+    def test_concurrency_gain_helper(self):
+        module = xla_module()
+        serial = Engine().run(module).total_time
+        result = schedule(module, num_streams=2)
+        gain = result.concurrency_gain(serial)
+        assert gain > 0
+
+    def test_zero_streams_rejected(self):
+        with pytest.raises(ValueError):
+            schedule(xla_module(), num_streams=0)
+
+    def test_stitched_module_has_less_to_gain(self):
+        # AStitch already serialized the parallelism into one kernel:
+        # streams cannot help a single-kernel module.
+        graph = micro.fig7_subgraph(512, 256)
+        module = AStitchCompiler().compile(graph)
+        one = schedule(module, num_streams=1, bandwidth_sharing=False)
+        four = schedule(module, num_streams=4, bandwidth_sharing=False)
+        kernels = [e for e in four.events if e.category == "mem"]
+        assert len(kernels) == 1
+        assert four.makespan == pytest.approx(one.makespan, rel=1e-9)
+
+    def test_result_type(self):
+        result = schedule(xla_module(), num_streams=2)
+        assert isinstance(result, TimelineResult)
+        assert result.num_streams == 2

@@ -1,0 +1,74 @@
+"""Regression bands: structural guardrails for the calibrated results.
+
+These tests pin the *order of magnitude* of the headline numbers so a
+future change to a workload generator, a mapping heuristic or the cost
+model cannot silently destroy the paper-shape reproduction that
+EXPERIMENTS.md documents.  Bands are deliberately wide: they should only
+trip on qualitative regressions.
+"""
+
+import pytest
+
+from repro.analysis import compare_compilers, geomean
+from repro.compilers import (
+    TensorFlowCompiler,
+    TensorRTCompiler,
+    XLACompiler,
+)
+from repro.core import AStitchCompiler
+from repro.workloads import WORKLOADS, build
+
+KERNEL_BANDS = {
+    # model: (XLA kernels band, AStitch kernels band)
+    "CRNN": ((300, 700), (40, 120)),
+    "ASR": ((150, 450), (40, 120)),
+    "BERT": ((150, 450), (40, 150)),
+    "Transformer": ((5000, 14000), (1200, 4000)),
+    "DIEN": ((500, 1300), (60, 220)),
+}
+
+
+@pytest.fixture(scope="module")
+def results():
+    compilers = [TensorFlowCompiler(), XLACompiler(),
+                 TensorRTCompiler(), AStitchCompiler()]
+    return {name: compare_compilers(build(name), compilers)
+            for name in WORKLOADS}
+
+
+class TestKernelCountBands:
+    @pytest.mark.parametrize("name", list(KERNEL_BANDS))
+    def test_xla_band(self, results, name):
+        lo, hi = KERNEL_BANDS[name][0]
+        count = results[name].profiles["XLA"].mem_kernel_count
+        assert lo <= count <= hi, f"{name}: XLA kernels {count}"
+
+    @pytest.mark.parametrize("name", list(KERNEL_BANDS))
+    def test_astitch_band(self, results, name):
+        lo, hi = KERNEL_BANDS[name][1]
+        count = results[name].profiles["AStitch"].mem_kernel_count
+        assert lo <= count <= hi, f"{name}: AStitch kernels {count}"
+
+
+class TestSpeedupBands:
+    def test_geomean_vs_xla_in_paper_band(self, results):
+        gains = [r.speedup("AStitch", versus="XLA")
+                 for r in results.values()]
+        assert 1.4 < geomean(gains) < 2.8   # paper average: 1.84x
+
+    def test_every_model_wins_vs_every_baseline(self, results):
+        for name, result in results.items():
+            for baseline in ("TensorFlow", "XLA", "TensorRT"):
+                assert result.speedup("AStitch", versus=baseline) > 1.0, \
+                    f"{name} vs {baseline}"
+
+    def test_biggest_gains_on_rnn_and_recommendation(self, results):
+        # The paper's ranking: DIEN/CRNN gain most, BERT least.
+        gains = {name: result.speedup("AStitch", versus="XLA")
+                 for name, result in results.items()}
+        assert gains["DIEN"] > gains["BERT"]
+        assert gains["CRNN"] > gains["BERT"]
+
+    def test_bert_is_compute_diluted(self, results):
+        profile = results["BERT"].profiles["AStitch"]
+        assert profile.compute_time > profile.mem_time

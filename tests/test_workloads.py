@@ -1,0 +1,132 @@
+"""Tests for the workload generators (structure + correctness)."""
+
+import numpy as np
+import pytest
+
+from repro.compilers import TensorFlowCompiler, TVMCompiler, XLACompiler
+from repro.core import AStitchCompiler
+from repro.ir.interpreter import evaluate, random_feeds
+from repro.ir.ops import OpKind
+from repro.workloads import WORKLOADS, build, micro
+from repro.workloads.asr import build_asr
+from repro.workloads.bert import build_bert
+from repro.workloads.crnn import build_crnn
+from repro.workloads.dien import build_dien
+from repro.workloads.transformer import build_transformer
+
+
+def small_variants():
+    """Tiny configurations for numeric execution in tests."""
+    return {
+        "BERT": build_bert(batch=2, seq=4, hidden=8, num_layers=1,
+                           ffn_dim=16, heads=2),
+        "Transformer": build_transformer(beams=4, hidden=8, num_layers=1,
+                                         decode_steps=2, vocab=16,
+                                         src_len=4),
+        "DIEN": build_dien(batch=2, seq_len=3, embed=4, hidden=4,
+                           pool_rows=10),
+        "ASR": build_asr(frames=8, features=5, hidden=8, num_layers=1,
+                         vocab=7),
+        "CRNN": build_crnn(time_steps=3, hidden=8, conv_stages=2,
+                           alphabet=5),
+    }
+
+
+class TestStructure:
+    @pytest.mark.parametrize("name", list(WORKLOADS))
+    def test_builds_and_validates(self, name):
+        graph = build(name)
+        assert len(graph) > 100
+        assert graph.outputs
+
+    @pytest.mark.parametrize("name", list(WORKLOADS))
+    def test_majority_memory_intensive_kernels(self, name):
+        # Fig 1: ~89.6% of kernels are memory-intensive.
+        stats = build(name).stats()
+        ratio = stats["memory_intensive"] / (
+            stats["memory_intensive"] + stats["compute_intensive"])
+        assert ratio > 0.75
+
+    def test_dien_contains_fig6a_shape(self):
+        graph = build("DIEN")
+        assert any(
+            n.kind is OpKind.REDUCE and n.is_row_reduce()
+            and n.operands[0].shape == (750_000, 32)
+            for n in graph.nodes)
+
+    def test_transformer_contains_fig6b_shape(self):
+        graph = build("Transformer")
+        assert any(
+            n.kind is OpKind.REDUCE and n.is_row_reduce()
+            and n.operands[0].shape == (64, 30_000)
+            for n in graph.nodes)
+
+    def test_training_variants_marked(self):
+        assert build("BERT", training=True).name.endswith("-train")
+
+    def test_training_unavailable_for_crnn(self):
+        with pytest.raises(ValueError):
+            build("CRNN", training=True)
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError):
+            build("ResNet")
+
+    def test_transformer_kernel_scale(self):
+        # Table 3: Transformer shatters into thousands of XLA kernels.
+        graph = build("Transformer")
+        module = XLACompiler().compile(graph)
+        assert len(module.kernels()) > 4000
+
+    def test_rnn_models_use_recurrent_cells(self):
+        for name in ("DIEN", "CRNN"):
+            graph = build(name)
+            assert any(n.kind is OpKind.RNN_CELL for n in graph.nodes)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("name", ["BERT", "Transformer", "DIEN",
+                                      "ASR", "CRNN"])
+    def test_all_compilers_agree(self, name):
+        graph = small_variants()[name]
+        feeds = random_feeds(graph, seed=31, scale=0.3)
+        want = evaluate(graph, feeds)
+        for compiler in (TensorFlowCompiler(), XLACompiler(),
+                         TVMCompiler(), AStitchCompiler()):
+            got = compiler.compile(graph).execute(feeds)
+            assert set(got) == set(want)
+            for key in want:
+                np.testing.assert_allclose(
+                    got[key], want[key], rtol=1e-3, atol=1e-4,
+                    err_msg=f"{compiler.name} diverges on {name}:{key}")
+
+
+class TestMicro:
+    def test_fig5_graph_shape(self):
+        g = micro.power_broadcast_add()
+        assert any(n.kind is OpKind.POWER for n in g.nodes)
+
+    def test_fig7_has_three_reduces(self):
+        g = micro.fig7_subgraph()
+        assert sum(1 for n in g.nodes if n.kind is OpKind.REDUCE) == 3
+
+    def test_row_reduce_probe(self):
+        g = micro.row_reduce(750_000, 32)
+        reduce_node = next(n for n in g.nodes if n.kind is OpKind.REDUCE)
+        assert reduce_node.is_row_reduce()
+
+    def test_giant_graph_node_count(self):
+        g = micro.giant_elementwise_graph(5000)
+        assert 4500 <= len(g) <= 6000
+
+    def test_micro_graphs_execute(self):
+        for g in (micro.power_broadcast_add(4, 16),
+                  micro.fig7_subgraph(8, 16),
+                  micro.softmax_graph(4, 8)):
+            feeds = random_feeds(g, seed=1)
+            module = AStitchCompiler().compile(g)
+            got = module.execute(feeds)
+            want = evaluate(g, feeds)
+            for key in want:
+                np.testing.assert_allclose(got[key], want[key],
+                                           rtol=1e-4, atol=1e-5)
