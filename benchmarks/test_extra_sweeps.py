@@ -10,7 +10,7 @@
   at which either beats Ansor's 2000-trial tuning.
 """
 
-from benchmarks.conftest import save_report
+from benchmarks.conftest import compile_cached, save_report
 from repro.analysis import render_table
 from repro.analysis.amortization import SystemCost, break_even_iterations
 from repro.compilers import AnsorCompiler, XLACompiler
@@ -27,8 +27,8 @@ def _sweep():
     rows = []
     for shape in SWEEP:
         graph = micro.softmax_graph(*shape)
-        xla = engine.run(XLACompiler().compile(graph))
-        astitch = engine.run(AStitchCompiler().compile(graph))
+        xla = engine.run(compile_cached(XLACompiler(), graph))
+        astitch = engine.run(compile_cached(AStitchCompiler(), graph))
         rows.append((shape, xla.total_time, astitch.total_time))
     return rows
 
@@ -64,7 +64,7 @@ def test_extra_jit_amortization(benchmark):
         systems = {}
         for compiler in (XLACompiler(), AnsorCompiler(),
                          AStitchCompiler()):
-            module = compiler.compile(graph)
+            module = compile_cached(compiler, graph)
             profile = engine.run(module)
             systems[compiler.name] = SystemCost(
                 compiler.name, module.compile_seconds,

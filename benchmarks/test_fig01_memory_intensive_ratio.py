@@ -8,7 +8,7 @@ because A100's compute/bandwidth ratio is ~5.6x higher.
 
 import pytest
 
-from benchmarks.conftest import save_report
+from benchmarks.conftest import compile_cached, save_report
 from repro.analysis import render_table
 from repro.compilers import TensorFlowCompiler
 from repro.gpu.spec import A100, V100
@@ -20,7 +20,7 @@ def _ratios(spec):
     rows = {}
     for name in WORKLOADS:
         graph = build(name)
-        module = TensorFlowCompiler().compile(graph, spec)
+        module = compile_cached(TensorFlowCompiler(), graph, spec)
         profile = Engine(spec).run(module)
         kernel_time = profile.mem_time + profile.compute_time
         rows[name] = {

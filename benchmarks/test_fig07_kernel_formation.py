@@ -6,7 +6,7 @@ into reduce.2's kernel, redundantly), and AStitch forms exactly 1 with
 hierarchical data reuse.
 """
 
-from benchmarks.conftest import save_report
+from benchmarks.conftest import compile_cached, save_report
 from repro.analysis import render_table
 from repro.compilers import TensorFlowCompiler, TVMCompiler, XLACompiler
 from repro.core import AStitchCompiler
@@ -20,7 +20,7 @@ def _formation():
     out = {}
     for compiler in (TensorFlowCompiler(), XLACompiler(), TVMCompiler(),
                      AStitchCompiler()):
-        module = compiler.compile(graph)
+        module = compile_cached(compiler, graph)
         profile = engine.run(module)
         out[compiler.name] = (len(module.kernels()), profile.mem_time)
     return out

@@ -6,7 +6,7 @@ AStitch's top kernels show higher ``achieved_occupancy`` and
 BERT) — and AStitch has far fewer kernels on the axis.
 """
 
-from benchmarks.conftest import save_report
+from benchmarks.conftest import compile_cached, save_report
 from repro.analysis import render_table
 from repro.compilers import AnsorCompiler
 from repro.core import AStitchCompiler
@@ -68,8 +68,9 @@ def test_fig16_bert_trend_vs_ansor(benchmark):
         graph = build("BERT")
         engine = Engine()
         return {
-            "Ansor": engine.run(AnsorCompiler().compile(graph)),
-            "AStitch": engine.run(AStitchCompiler().compile(graph)),
+            "Ansor": engine.run(compile_cached(AnsorCompiler(), graph)),
+            "AStitch": engine.run(
+                compile_cached(AStitchCompiler(), graph)),
         }
 
     profiles = benchmark.pedantic(compute, rounds=1, iterations=1)

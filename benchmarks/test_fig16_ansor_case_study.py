@@ -6,7 +6,7 @@ computation 1.4x faster, and moves ~40% fewer total off-chip
 transactions (Ansor 49.8M reads / 47.3M writes vs AStitch 33.0M / 28.4M).
 """
 
-from benchmarks.conftest import save_report
+from benchmarks.conftest import compile_cached, save_report
 from repro.analysis import render_table
 from repro.compilers import AnsorCompiler
 from repro.core import AStitchCompiler
@@ -18,8 +18,8 @@ def _case_study():
     graph = build("BERT")
     engine = Engine()
     return {
-        "Ansor": engine.run(AnsorCompiler().compile(graph)),
-        "AStitch": engine.run(AStitchCompiler().compile(graph)),
+        "Ansor": engine.run(compile_cached(AnsorCompiler(), graph)),
+        "AStitch": engine.run(compile_cached(AStitchCompiler(), graph)),
     }
 
 
@@ -67,8 +67,8 @@ def test_sec62_tuning_cost_gap(benchmark):
     below Ansor's 2000-trial tuning (Sec 6.4.1 vs Sec 6.2)."""
     def compile_costs():
         graph = build("BERT")
-        return (AnsorCompiler().compile(graph).compile_seconds,
-                AStitchCompiler().compile(graph).compile_seconds)
+        return (compile_cached(AnsorCompiler(), graph).compile_seconds,
+                compile_cached(AStitchCompiler(), graph).compile_seconds)
 
     ansor_cost, astitch_cost = benchmark.pedantic(compile_costs,
                                                   rounds=1, iterations=1)

@@ -9,7 +9,7 @@ Two real production row-reductions defeat XLA's fixed thread mapping:
   cross-block atomic (Fig 8b).
 """
 
-from benchmarks.conftest import save_report
+from benchmarks.conftest import compile_cached, save_report
 from repro.analysis import render_table
 from repro.codegen.builder import kernel_cost_inputs
 from repro.compilers import XLACompiler
@@ -28,7 +28,7 @@ def _probe():
         graph = micro.row_reduce(rows, cols)
         entry = {}
         for compiler in (XLACompiler(), AStitchCompiler()):
-            kernel = compiler.compile(graph).kernels()[0]
+            kernel = compile_cached(compiler, graph).kernels()[0]
             counters = cost.price(kernel_cost_inputs(kernel))
             entry[compiler.name] = (kernel.mapping, counters)
         out[(rows, cols)] = entry

@@ -6,7 +6,7 @@ pays an extra kernel; AStitch stitches with shared-memory reuse — one
 kernel, no redundancy.
 """
 
-from benchmarks.conftest import save_report
+from benchmarks.conftest import compile_cached, save_report
 from repro.analysis import render_table
 from repro.codegen.builder import kernel_cost_inputs
 from repro.compilers import TVMCompiler, XLACompiler
@@ -18,7 +18,7 @@ def _stats(rows=4096, cols=128):
     graph = micro.power_broadcast_add(rows, cols)
     out = {}
     for compiler in (XLACompiler(), TVMCompiler(), AStitchCompiler()):
-        module = compiler.compile(graph)
+        module = compile_cached(compiler, graph)
         fp = sum(kernel_cost_inputs(k).fp_instructions
                  for k in module.kernels())
         out[compiler.name] = (len(module.kernels()), fp)

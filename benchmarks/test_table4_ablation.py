@@ -7,7 +7,7 @@ without dominant merging (+8.2%); full AStitch adds dominant merging
 (+18.7%).
 """
 
-from benchmarks.conftest import save_report
+from benchmarks.conftest import compile_cached, save_report
 from repro.analysis import render_table
 from repro.compilers import XLACompiler
 from repro.core import AStitchCompiler, AStitchConfig
@@ -24,7 +24,7 @@ def _ablation_times():
         ("HDM", AStitchCompiler(AStitchConfig.no_dominant_merging())),
         ("AStitch", AStitchCompiler()),
     ]
-    return {name: engine.run(compiler.compile(graph)).total_time
+    return {name: engine.run(compile_cached(compiler, graph)).total_time
             for name, compiler in configs}
 
 

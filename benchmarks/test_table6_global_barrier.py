@@ -9,7 +9,7 @@ bottleneck.
 
 import pytest
 
-from benchmarks.conftest import save_report
+from benchmarks.conftest import compile_cached, save_report
 from repro.analysis import render_table
 from repro.gpu.barrier import global_barrier_latency
 from repro.gpu.spec import V100
@@ -50,7 +50,7 @@ def test_table6_barrier_not_crnn_bottleneck(benchmark):
     from repro.workloads import build
 
     def barrier_share():
-        module = AStitchCompiler().compile(build("CRNN"))
+        module = compile_cached(AStitchCompiler(), build("CRNN"))
         profile = Engine().run(module)
         barrier_time = sum(
             k.num_global_barriers * global_barrier_latency(

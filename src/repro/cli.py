@@ -5,6 +5,7 @@
     python -m repro compare DIEN [--device T4]
     python -m repro dump-graph BERT [--full]
     python -m repro dump-cuda softmax
+    python -m repro warmup [--cache-dir ~/.cache/repro] [--train]
 """
 
 from __future__ import annotations
@@ -26,7 +27,8 @@ from repro.compilers import (
 from repro.core import AStitchCompiler
 from repro.gpu.spec import A100, T4, V100
 from repro.ir.printer import format_graph, format_summary
-from repro.runtime import Engine
+from repro.runtime import CompileCache, CompileService, Engine, \
+    default_service
 from repro.workloads import WORKLOADS, build, micro
 
 COMPILERS = {
@@ -128,11 +130,14 @@ def cmd_compare(args) -> int:
     graph = _build_graph(args.graph, args.train)
     spec = DEVICES[args.device]
     engine = Engine(spec)
+    service = default_service()
+    futures = [(name, service.submit(graph, compiler_cls(), spec))
+               for name, compiler_cls in COMPILERS.items()]
     rows = []
     baseline = None
-    for name, compiler_cls in COMPILERS.items():
+    for name, future in futures:
         try:
-            module = compiler_cls().compile(graph, spec)
+            module = future.result()
         except RuntimeError as error:
             rows.append([name, "-", "-", "-", f"({error})"])
             continue
@@ -181,17 +186,20 @@ def cmd_report(args) -> int:
 
     spec = DEVICES[args.device]
     engine = Engine(spec)
+    service = default_service()
     systems = ["TensorFlow", "XLA", "TensorRT", "AStitch"]
+    graphs = {name: build(name) for name in WORKLOADS}
+    service.warmup(graphs.values(),
+                   [COMPILERS[s]() for s in systems], spec)
     lines = [f"# AStitch reproduction report ({args.device})", ""]
     lines += ["| model | " + " | ".join(systems) + " | MEM kernels "
               "(XLA→AStitch) |",
               "|" + "---|" * (len(systems) + 2)]
     vs_xla = []
-    for name in WORKLOADS:
-        graph = build(name)
+    for name, graph in graphs.items():
         profiles = {}
         for system in systems:
-            module = COMPILERS[system]().compile(graph, spec)
+            module = service.compile(graph, COMPILERS[system](), spec)
             profiles[system] = engine.run(module)
         base = profiles["TensorFlow"].total_time
         vs_xla.append(profiles["XLA"].total_time
@@ -212,6 +220,41 @@ def cmd_report(args) -> int:
         print(f"wrote {args.output}")
     else:
         print(report)
+    return 0
+
+
+def cmd_warmup(args) -> int:
+    """Pre-compile workloads × compilers into the compile cache.
+
+    With ``--cache-dir`` (or ``REPRO_COMPILE_CACHE_DIR``), compiled
+    modules persist on disk, so later runs — including in fresh
+    processes — start with a warm cache.
+    """
+    if args.cache_dir:
+        cache = CompileCache(cache_dir=args.cache_dir)
+    else:
+        cache = CompileCache.from_env()
+    service = CompileService(cache=cache, max_workers=args.workers)
+    names = [c for c in args.compilers.split(",") if c]
+    for name in names:
+        if name not in COMPILERS:
+            raise SystemExit(f"unknown compiler {name!r}; "
+                             f"choices: {', '.join(COMPILERS)}")
+    compilers = [COMPILERS[name]() for name in names]
+    spec = DEVICES[args.device]
+    report = service.warmup(compilers=compilers, spec=spec,
+                            training=args.train)
+    rows = [["(graph, compiler) pairs", report.pairs],
+            ["compiled cold", report.compiled],
+            ["served from cache", report.served_from_cache],
+            ["rejected", len(report.failures)],
+            ["wall seconds", f"{report.seconds:.2f}"],
+            ["persistent entries written", cache.stats.disk_stores],
+            ["cache dir", str(cache.cache_dir or "(memory only)")]]
+    print(render_table(["metric", "value"], rows,
+                       title=f"compile-cache warmup ({args.device})"))
+    for graph_name, compiler_name, error in report.failures:
+        print(f"  skipped {graph_name} / {compiler_name}: {error}")
     return 0
 
 
@@ -264,6 +307,21 @@ def make_parser() -> argparse.ArgumentParser:
     report.add_argument("--output", default="",
                         help="write markdown here instead of stdout")
     report.set_defaults(func=cmd_report)
+
+    warmup = sub.add_parser(
+        "warmup", help="pre-compile workloads into the compile cache")
+    warmup.add_argument("--device", choices=DEVICES, default="V100")
+    warmup.add_argument("--train", action="store_true",
+                        help="warm the training graphs instead")
+    warmup.add_argument("--compilers",
+                        default="TensorFlow,XLA,TensorRT,AStitch",
+                        help="comma-separated compiler names")
+    warmup.add_argument("--cache-dir", default="",
+                        help="persistent cache directory (defaults to "
+                             "$REPRO_COMPILE_CACHE_DIR)")
+    warmup.add_argument("--workers", type=int, default=None,
+                        help="compile worker threads (0 = inline)")
+    warmup.set_defaults(func=cmd_warmup)
     return parser
 
 

@@ -17,6 +17,7 @@ from repro.ir.ops import (
 )
 from repro.ir.graph import Graph, Node
 from repro.ir.builder import GraphBuilder
+from repro.ir.fingerprint import fingerprints_equal, graph_fingerprint
 from repro.ir.interpreter import Interpreter, evaluate
 from repro.ir import patterns
 
@@ -40,5 +41,7 @@ __all__ = [
     "GraphBuilder",
     "Interpreter",
     "evaluate",
+    "fingerprints_equal",
+    "graph_fingerprint",
     "patterns",
 ]

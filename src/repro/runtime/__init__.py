@@ -8,12 +8,31 @@ OVERHEAD (launches, framework scheduling, memcpy) — the Fig 13 breakdown.
 
 from repro.runtime.engine import Engine, Profile, StepProfile
 from repro.runtime.amp import convert_to_amp
+from repro.runtime.compile_cache import (
+    CacheKey,
+    CacheStats,
+    CompileCache,
+    compiler_fingerprint,
+    default_cache,
+    set_default_cache,
+)
+from repro.runtime.compile_service import (
+    CompileService,
+    ServiceStats,
+    WarmupReport,
+    default_service,
+    set_default_service,
+)
 from repro.runtime.jit import JitCache, JitStats
 from repro.runtime.trace import profile_to_chrome_trace, write_chrome_trace
 from repro.runtime.timeline import TimelineResult, schedule as schedule_streams
 from repro.runtime.session import Session
 
 __all__ = ["Engine", "Profile", "StepProfile", "convert_to_amp",
+           "CacheKey", "CacheStats", "CompileCache",
+           "compiler_fingerprint", "default_cache", "set_default_cache",
+           "CompileService", "ServiceStats", "WarmupReport",
+           "default_service", "set_default_service",
            "JitCache", "JitStats",
            "profile_to_chrome_trace", "write_chrome_trace",
            "TimelineResult", "schedule_streams", "Session"]

@@ -8,6 +8,11 @@ This module makes that statement operational, in the spirit of the
 authors' DISC follow-up ([59]): a cache of compiled modules keyed by the
 input-shape signature, with an optional power-of-two bucketing policy
 that trades a little padding for far fewer compilations.
+
+Cold compilations are routed through the shared
+:class:`~repro.runtime.compile_service.CompileService`, so a shape
+bucket compiled by one ``JitCache`` (or a ``Session``, or a benchmark
+sweep) is a cache hit for every other one.
 """
 
 from __future__ import annotations
@@ -70,11 +75,15 @@ class JitCache:
     """Compile-once-per-shape-bucket execution cache."""
 
     def __init__(self, compiler: Compiler, spec: GPUSpec = V100,
-                 policy: str = "pow2"):
+                 policy: str = "pow2", service=None):
         bucket_dims({}, policy)  # validate the policy eagerly
+        if service is None:
+            from repro.runtime.compile_service import default_service
+            service = default_service()
         self.compiler = compiler
         self.spec = spec
         self.policy = policy
+        self.service = service
         self.stats = JitStats()
         self._modules: dict[tuple, CompiledModule] = {}
 
@@ -88,12 +97,18 @@ class JitCache:
             dims: The request's concrete dynamic dimensions.
         """
         bucket = bucket_dims(dims, self.policy)
-        key = (getattr(factory, "__name__", repr(factory)),
-               tuple(sorted(bucket.items())))
+        # Factories named by module + qualname: two functions both
+        # called "build" in different modules must not alias each
+        # other's compiled modules.
+        identity = (getattr(factory, "__module__", None),
+                    getattr(factory, "__qualname__", None))
+        if identity == (None, None):
+            identity = (repr(factory), "")
+        key = (identity, tuple(sorted(bucket.items())))
         module = self._modules.get(key)
         if module is None:
             graph = factory(**bucket)
-            module = self.compiler.compile(graph, self.spec)
+            module = self.service.compile(graph, self.compiler, self.spec)
             self._modules[key] = module
             self.stats.misses += 1
             self.stats.compile_seconds += module.compile_seconds

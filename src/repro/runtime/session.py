@@ -10,6 +10,14 @@ numerics, and keeps the priced profiles for inspection.
     session = Session()                       # AStitch on a model V100
     outputs = session.run(graph, {"x": data})
     print(session.profile(graph).total_time)
+
+Compilation is routed through the process-wide
+:class:`~repro.runtime.compile_service.CompileService`, so structurally
+identical graphs share one compiled artifact across sessions (and, with
+``REPRO_COMPILE_CACHE_DIR`` set, across process runs).  Cache entries
+are keyed by the structural graph fingerprint — never by ``id(graph)``,
+whose values the allocator recycles after garbage collection — and each
+entry pins the graph it was keyed for, so aliasing is impossible.
 """
 
 from __future__ import annotations
@@ -20,45 +28,60 @@ import numpy as np
 
 from repro.compilers.base import CompiledModule, Compiler
 from repro.gpu.spec import GPUSpec, V100
+from repro.ir.fingerprint import graph_fingerprint
 from repro.ir.graph import Graph
 from repro.runtime.engine import Engine, Profile
 
 
 class Session:
-    """Compile-once, run-many execution façade."""
+    """Compile-once, run-many execution façade.
+
+    Args:
+        compiler: Compilation strategy (AStitch when omitted).
+        spec: Device model to compile and price for.
+        optimize_graphs: Run the retained simplification pipeline
+            before kernel formation.
+        service: Compile service to route through; defaults to the
+            process-wide shared one.
+    """
 
     def __init__(self, compiler: Optional[Compiler] = None,
-                 spec: GPUSpec = V100, optimize_graphs: bool = True):
+                 spec: GPUSpec = V100, optimize_graphs: bool = True,
+                 service=None):
         if compiler is None:
             from repro.core.compiler import AStitchCompiler
             compiler = AStitchCompiler()
+        if service is None:
+            from repro.runtime.compile_service import default_service
+            service = default_service()
         self.compiler = compiler
         self.spec = spec
         self.optimize_graphs = optimize_graphs
+        self.service = service
         self.engine = Engine(spec)
-        self._modules: dict[int, CompiledModule] = {}
-        self._profiles: dict[int, Profile] = {}
+        self._modules: dict[str, tuple[Graph, CompiledModule]] = {}
+        self._profiles: dict[str, Profile] = {}
         self.iterations = 0
 
     def module(self, graph: Graph) -> CompiledModule:
         """The compiled module for ``graph`` (compiling on first use)."""
-        key = id(graph)
-        cached = self._modules.get(key)
-        if cached is None:
-            if self.optimize_graphs:
-                cached = self.compiler.compile_optimized(graph, self.spec)
-            else:
-                cached = self.compiler.compile(graph, self.spec)
-            self._modules[key] = cached
-        return cached
+        key = graph_fingerprint(graph)
+        entry = self._modules.get(key)
+        if entry is None:
+            module = self.service.compile(graph, self.compiler, self.spec,
+                                          optimize=self.optimize_graphs)
+            entry = (graph, module)
+            self._modules[key] = entry
+        return entry[1]
 
     def run(self, graph: Graph,
             feeds: Mapping[str, np.ndarray]) -> dict[str, np.ndarray]:
         """Execute one iteration and return the graph outputs.
 
-        Note: when graph optimization is enabled, outputs keep their
-        positions but may carry regenerated names; they are returned
-        under the *original* graph's output names.
+        Note: when graph optimization is enabled (or the module was
+        served from a structurally identical graph's compilation),
+        outputs keep their positions but may carry regenerated names;
+        they are returned under the *original* graph's output names.
         """
         module = self.module(graph)
         raw = module.execute(feeds)
@@ -73,7 +96,7 @@ class Session:
 
     def profile(self, graph: Graph) -> Profile:
         """The priced profile of one iteration of ``graph``."""
-        key = id(graph)
+        key = graph_fingerprint(graph)
         cached = self._profiles.get(key)
         if cached is None:
             cached = self.engine.run(self.module(graph))
@@ -82,8 +105,9 @@ class Session:
 
     @property
     def compile_seconds(self) -> float:
-        """Total modeled JIT time this session has paid."""
-        return sum(m.compile_seconds for m in self._modules.values())
+        """Total modeled JIT time this session's modules embody."""
+        return sum(module.compile_seconds
+                   for _, module in self._modules.values())
 
     def __repr__(self) -> str:
         return (f"Session(compiler={self.compiler.name}, "

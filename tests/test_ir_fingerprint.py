@@ -1,0 +1,153 @@
+"""Tests for structural graph fingerprinting."""
+
+import numpy as np
+
+from repro.ir import F16, GraphBuilder, graph_fingerprint
+from repro.ir.fingerprint import canonical_attr, canonical_form, \
+    fingerprints_equal
+from repro.ir.ops import ReduceKind
+from repro.workloads import WORKLOADS, build, micro
+
+# Recorded value for ``_golden_graph`` below.  This must NEVER change
+# across interpreter runs or machines; if it changes because the
+# encoding was deliberately revised, FINGERPRINT_VERSION must be bumped
+# (which invalidates persistent caches) and this constant re-recorded.
+GOLDEN = "421ad9324b9c5b789ea37c60ac7ac615d6141a1179aadca537996a86203f69e8"
+
+
+def _golden_graph():
+    b = GraphBuilder("golden")
+    x = b.parameter("x", (4, 8))
+    e = b.exp(x)
+    s = b.reduce_sum(e, axes=(1,))
+    d = b.divide(e, b.broadcast_rows(s, (4, 8)))
+    b.output(d)
+    return b.build()
+
+
+class TestStability:
+    def test_identical_builds_hash_equal(self):
+        assert fingerprints_equal(micro.softmax_graph(16, 8),
+                                  micro.softmax_graph(16, 8))
+
+    def test_object_identity_is_irrelevant(self):
+        graph = micro.fig7_subgraph(32, 16)
+        assert graph_fingerprint(graph) == graph_fingerprint(graph)
+        rebuilt = micro.fig7_subgraph(32, 16)
+        assert graph is not rebuilt
+        assert graph_fingerprint(graph) == graph_fingerprint(rebuilt)
+
+    def test_golden_value_stable_across_runs(self):
+        assert graph_fingerprint(_golden_graph()) == GOLDEN
+
+    def test_graph_display_name_is_excluded(self):
+        left, right = _golden_graph(), _golden_graph()
+        right.name = "renamed"
+        assert fingerprints_equal(left, right)
+
+    def test_workloads_all_distinct(self):
+        prints = {graph_fingerprint(build(name)) for name in WORKLOADS}
+        assert len(prints) == len(WORKLOADS)
+
+    def test_memo_invalidated_by_mutation(self):
+        b = GraphBuilder("grown")
+        x = b.parameter("x", (4, 4))
+        y = b.exp(x)
+        before = graph_fingerprint(b.graph)
+        b.output(b.add(y, y))
+        assert graph_fingerprint(b.graph) != before
+
+
+class TestSensitivity:
+    """Any semantic difference must change the hash."""
+
+    def _base(self, kind="exp", shape=(4, 8), dtype=None, wire_to_exp=True,
+              axes=(1,)):
+        b = GraphBuilder("probe")
+        kwargs = {"dtype": dtype} if dtype else {}
+        x = b.parameter("x", shape, **kwargs)
+        heavy = getattr(b, kind)(x)
+        source = heavy if wire_to_exp else x
+        b.output(b.reduce_sum(source, axes=axes))
+        return b.build()
+
+    def test_op_kind_changes_hash(self):
+        assert not fingerprints_equal(self._base(kind="exp"),
+                                      self._base(kind="tanh"))
+
+    def test_shape_changes_hash(self):
+        assert not fingerprints_equal(self._base(shape=(4, 8)),
+                                      self._base(shape=(8, 4)))
+
+    def test_dtype_changes_hash(self):
+        assert not fingerprints_equal(self._base(),
+                                      self._base(dtype=F16))
+
+    def test_edge_changes_hash(self):
+        # Same node multiset, different wiring: reduce(exp(x)) vs
+        # exp(x) dead + reduce(x).
+        assert not fingerprints_equal(self._base(wire_to_exp=True),
+                                      self._base(wire_to_exp=False))
+
+    def test_attr_changes_hash(self):
+        b1 = GraphBuilder("a")
+        x1 = b1.parameter("x", (4, 4))
+        b1.output(b1.reduce_sum(x1, axes=(0,)))
+        b2 = GraphBuilder("a")
+        x2 = b2.parameter("x", (4, 4))
+        b2.output(b2.reduce_sum(x2, axes=(1,)))
+        assert not fingerprints_equal(b1.build(), b2.build())
+
+    def test_reduce_kind_changes_hash(self):
+        b1 = GraphBuilder("a")
+        b1.output(b1.reduce_sum(b1.parameter("x", (4, 4)), axes=(1,)))
+        b2 = GraphBuilder("a")
+        b2.output(b2.reduce_max(b2.parameter("x", (4, 4)), axes=(1,)))
+        assert not fingerprints_equal(b1.build(), b2.build())
+
+    def test_parameter_name_changes_hash(self):
+        # Parameter names are the execution interface (feeds bind by
+        # name), so they are part of the fingerprint.
+        b1 = GraphBuilder("a")
+        b1.output(b1.exp(b1.parameter("x", (4,))))
+        b2 = GraphBuilder("a")
+        b2.output(b2.exp(b2.parameter("y", (4,))))
+        assert not fingerprints_equal(b1.build(), b2.build())
+
+    def test_constant_payload_changes_hash(self):
+        b1 = GraphBuilder("a")
+        b1.output(b1.constant(np.ones((2, 2), dtype=np.float32)))
+        b2 = GraphBuilder("a")
+        b2.output(b2.constant(np.zeros((2, 2), dtype=np.float32)))
+        assert not fingerprints_equal(b1.build(), b2.build())
+
+    def test_output_set_changes_hash(self):
+        b1 = GraphBuilder("a")
+        x = b1.parameter("x", (4,))
+        e = b1.exp(x)
+        b1.output(e)
+        b2 = GraphBuilder("a")
+        x2 = b2.parameter("x", (4,))
+        e2 = b2.exp(x2)
+        b2.output(e2)
+        b2.output(x2)
+        assert not fingerprints_equal(b1.build(), b2.build())
+
+
+class TestCanonicalEncoding:
+    def test_canonical_form_is_readable(self):
+        text = canonical_form(_golden_graph())
+        assert text.startswith("repro-graph-fingerprint-v")
+        assert "reduce" in text and "outputs|" in text
+
+    def test_attr_encoding_distinguishes_types(self):
+        assert canonical_attr(1) != canonical_attr(1.0)
+        assert canonical_attr(True) != canonical_attr(1)
+        assert canonical_attr("1") != canonical_attr(1)
+        assert canonical_attr((1, 2)) == canonical_attr([1, 2])
+        assert canonical_attr(ReduceKind.SUM) != canonical_attr("sum")
+
+    def test_ndarray_encoding_covers_dtype_and_shape(self):
+        a = np.zeros((2, 3), dtype=np.float32)
+        assert canonical_attr(a) != canonical_attr(a.astype(np.float64))
+        assert canonical_attr(a) != canonical_attr(a.reshape(3, 2))

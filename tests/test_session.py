@@ -7,6 +7,8 @@ from repro.compilers import XLACompiler
 from repro.core import AStitchCompiler
 from repro.gpu.spec import T4
 from repro.ir.interpreter import evaluate, random_feeds
+from repro.runtime.compile_cache import CompileCache
+from repro.runtime.compile_service import CompileService
 from repro.runtime.session import Session
 from repro.runtime.timeline import schedule
 from repro.runtime.trace import timeline_to_chrome_trace
@@ -49,8 +51,13 @@ class TestSession:
         assert session.compile_seconds > first
 
     def test_optimization_can_be_disabled(self):
+        # A cold, isolated cache: with the process-wide one, a
+        # structurally identical graph compiled earlier in the suite
+        # may legitimately serve this entry.
         graph = micro.softmax_graph(16, 8)
-        plain = Session(optimize_graphs=False)
+        plain = Session(optimize_graphs=False,
+                        service=CompileService(cache=CompileCache(),
+                                               max_workers=0))
         assert plain.module(graph).graph is graph
 
     def test_alternate_compiler_and_device(self):
