@@ -9,7 +9,7 @@ because A100's compute/bandwidth ratio is ~5.6x higher.
 import pytest
 
 from benchmarks.conftest import compile_cached, save_report
-from repro.analysis import render_table
+from repro.analysis import mean, render_table
 from repro.compilers import TensorFlowCompiler
 from repro.gpu.spec import A100, V100
 from repro.runtime import Engine
@@ -46,9 +46,9 @@ def test_fig01_ratios(benchmark, fig1):
          f"{a100[name]['time_ratio']:.1%}"]
         for name in v100
     ]
-    avg_time = sum(r["time_ratio"] for r in v100.values()) / len(v100)
-    avg_count = sum(r["count_ratio"] for r in v100.values()) / len(v100)
-    avg_a100 = sum(r["time_ratio"] for r in a100.values()) / len(a100)
+    avg_time = mean(r["time_ratio"] for r in v100.values())
+    avg_count = mean(r["count_ratio"] for r in v100.values())
+    avg_a100 = mean(r["time_ratio"] for r in a100.values())
     rows.append(["average", f"{avg_time:.1%}", f"{avg_count:.1%}",
                  f"{avg_a100:.1%}"])
     save_report("fig01_memory_intensive_ratio", render_table(
@@ -67,7 +67,7 @@ def test_fig01_ratios(benchmark, fig1):
 
 def test_fig01_a100_ratio_rises(benchmark, fig1):
     data = benchmark.pedantic(lambda: fig1, rounds=1, iterations=1)
-    v100_avg = sum(r["time_ratio"] for r in data["V100"].values()) / 5
-    a100_avg = sum(r["time_ratio"] for r in data["A100"].values()) / 5
+    v100_avg = mean(r["time_ratio"] for r in data["V100"].values())
+    a100_avg = mean(r["time_ratio"] for r in data["A100"].values())
     # The paper: 63.2% -> 76.7% moving to A100 (TF32 default).
     assert a100_avg > v100_avg

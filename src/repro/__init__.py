@@ -38,6 +38,7 @@ from repro.compilers import (
 from repro.core import AStitchCompiler, AStitchConfig, StitchScheme
 from repro.runtime import Engine, Profile, Session, convert_to_amp
 from repro.analysis import compare_compilers, geomean, render_table
+from repro.serving import max_sustainable_qps, run_loadtest
 
 __version__ = "1.0.0"
 
@@ -72,5 +73,7 @@ __all__ = [
     "compare_compilers",
     "geomean",
     "render_table",
+    "max_sustainable_qps",
+    "run_loadtest",
     "__version__",
 ]

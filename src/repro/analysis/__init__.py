@@ -8,6 +8,7 @@ from repro.analysis.amortization import SystemCost, break_even_iterations
 from repro.analysis.graph_stats import GraphStats, compute_stats, render_stats
 from repro.analysis.profiler_report import gpu_summary, kernel_family
 from repro.analysis.charts import bar_chart, grouped_bar_chart, series_chart
+from repro.analysis.stats import Summary, mean, percentile, summarize
 from repro.analysis.cluster import (
     ClusterEstimate,
     ClusterTask,
@@ -38,4 +39,8 @@ __all__ = [
     "GraphStats",
     "compute_stats",
     "render_stats",
+    "Summary",
+    "mean",
+    "percentile",
+    "summarize",
 ]

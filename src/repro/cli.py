@@ -6,6 +6,8 @@
     python -m repro dump-graph BERT [--full]
     python -m repro dump-cuda softmax
     python -m repro warmup [--cache-dir ~/.cache/repro] [--train]
+    python -m repro serve Transformer --qps 10 --workers 2 [--policy edf]
+    python -m repro loadtest --workload transformer --qps 8 --workers 2
 """
 
 from __future__ import annotations
@@ -258,6 +260,105 @@ def cmd_warmup(args) -> int:
     return 0
 
 
+def _canonical_workloads(names) -> list[str]:
+    """Resolve case-insensitive workload names against the registry."""
+    lookup = {name.lower(): name for name in WORKLOADS}
+    resolved = []
+    for raw in names:
+        for part in raw.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            name = lookup.get(part.lower())
+            if name is None:
+                raise SystemExit(
+                    f"unknown workload {part!r}; "
+                    f"choices: {', '.join(WORKLOADS)}")
+            if name not in resolved:
+                resolved.append(name)
+    return resolved
+
+
+def _fleet_specs(args) -> list:
+    """Worker device list from --workers/--device (uniform fleet) or
+    --devices (explicit, possibly mixed)."""
+    if args.devices:
+        names = [n.strip() for n in args.devices.split(",") if n.strip()]
+        for name in names:
+            if name not in DEVICES:
+                raise SystemExit(f"unknown device {name!r}; "
+                                 f"choices: {', '.join(DEVICES)}")
+        return [DEVICES[name] for name in names]
+    return [DEVICES[args.device]] * args.workers
+
+
+def cmd_serve(args) -> int:
+    """Run one simulated load test and print the metrics report."""
+    from repro.serving import (render_report, run_loadtest,
+                               write_report, write_serving_trace)
+    workloads = _canonical_workloads(args.workloads)
+    load = (workloads[0] if len(workloads) == 1
+            else {name: args.qps for name in workloads})
+    result, report = run_loadtest(
+        load, qps=args.qps, duration=args.duration,
+        compiler=COMPILERS[args.compiler](), specs=_fleet_specs(args),
+        policy=args.policy, max_batch=args.max_batch,
+        max_wait=args.max_wait_ms / 1e3, slo=args.slo_ms / 1e3,
+        seed=args.seed, max_depth=args.max_depth)
+    print(render_report(report))
+    if args.output:
+        write_report(report, args.output)
+        print(f"wrote {args.output}")
+    if args.trace:
+        write_serving_trace(result, args.trace)
+        print(f"wrote {args.trace} (load into chrome://tracing)")
+    return 0
+
+
+def cmd_loadtest(args) -> int:
+    """AStitch-vs-baseline serving comparison; records BENCH_serving.json.
+
+    Searches the maximum sustainable QPS at the fixed p99 SLO for the
+    baseline compiler and AStitch on every requested workload.  The
+    recorded file always also covers the headline pair (Transformer,
+    CRNN) so the capacity claim stays comparable across runs.
+    """
+    import json
+
+    from repro.serving import serving_benchmark
+
+    workloads = _canonical_workloads(
+        args.workload if args.workload else [])
+    for headline in ("Transformer", "CRNN"):
+        if headline not in workloads:
+            workloads.append(headline)
+    compilers = [COMPILERS[args.baseline](), AStitchCompiler()]
+    payload = serving_benchmark(
+        workloads, compilers, specs=_fleet_specs(args),
+        slo=args.slo_ms / 1e3, policy=args.policy,
+        max_batch=args.max_batch, max_wait=args.max_wait_ms / 1e3,
+        duration=args.duration, seed=args.seed,
+        detail_qps=args.qps)
+    with open(args.output, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    rows = []
+    for workload, entry in payload["capacity"].items():
+        rows.append([
+            workload,
+            f"{entry[payload['baseline']]['sustained_qps']:.1f}",
+            f"{entry['AStitch']['sustained_qps']:.1f}",
+            f"{entry['speedup']:.2f}x",
+        ])
+    print(render_table(
+        ["workload", f"{payload['baseline']} QPS", "AStitch QPS",
+         "gain"], rows,
+        title=f"max sustainable QPS at p99 <= {args.slo_ms:.0f} ms "
+              f"({len(payload['workers'])} workers)"))
+    print(f"wrote {args.output}")
+    return 0
+
+
 def make_parser() -> argparse.ArgumentParser:
     """Build the argument parser for all subcommands."""
     parser = argparse.ArgumentParser(
@@ -322,6 +423,64 @@ def make_parser() -> argparse.ArgumentParser:
     warmup.add_argument("--workers", type=int, default=None,
                         help="compile worker threads (0 = inline)")
     warmup.set_defaults(func=cmd_warmup)
+
+    def add_serving(p):
+        p.add_argument("--workers", type=int, default=2,
+                       help="simulated GPU workers in the fleet")
+        p.add_argument("--device", choices=DEVICES, default="V100",
+                       help="device model for a uniform fleet")
+        p.add_argument("--devices", default="",
+                       help="explicit per-worker devices, e.g. "
+                            "V100,V100,T4 (overrides --workers)")
+        p.add_argument("--policy", choices=["fifo", "edf",
+                                            "least-loaded"],
+                       default="fifo", help="scheduling policy")
+        p.add_argument("--max-batch", type=int, default=8,
+                       help="dynamic batcher's largest batch")
+        p.add_argument("--max-wait-ms", type=float, default=5.0,
+                       help="longest batching hold per request (ms)")
+        p.add_argument("--slo-ms", type=float, default=500.0,
+                       help="per-request latency objective (ms)")
+        p.add_argument("--duration", type=float, default=20.0,
+                       help="virtual seconds of offered load")
+        p.add_argument("--seed", type=int, default=0,
+                       help="arrival-stream seed (same seed, same run)")
+
+    serve = sub.add_parser(
+        "serve", help="simulate one serving load test")
+    serve.add_argument("workloads", nargs="*", default=["Transformer"],
+                       help="workload name(s); several names mean a "
+                            "mixed stream at --qps each")
+    serve.add_argument("--qps", type=float, default=10.0,
+                       help="offered load per workload (queries/s)")
+    serve.add_argument("--compiler", choices=COMPILERS,
+                       default="AStitch")
+    serve.add_argument("--max-depth", type=int, default=None,
+                       help="admission cap per workload bucket")
+    serve.add_argument("--output", default="",
+                       help="write the metrics report JSON here")
+    serve.add_argument("--trace", default="",
+                       help="write a Chrome trace of the fleet here")
+    add_serving(serve)
+    serve.set_defaults(func=cmd_serve)
+
+    loadtest = sub.add_parser(
+        "loadtest",
+        help="AStitch-vs-baseline sustainable-QPS benchmark")
+    loadtest.add_argument("--workload", action="append", default=[],
+                          help="workload(s) to test (repeatable / "
+                               "comma-separated; Transformer and CRNN "
+                               "are always included)")
+    loadtest.add_argument("--qps", type=float, default=None,
+                          help="also record fixed-rate load tests at "
+                               "this offered QPS")
+    loadtest.add_argument("--baseline", choices=COMPILERS,
+                          default="XLA",
+                          help="compiler AStitch is compared against")
+    loadtest.add_argument("--output", default="BENCH_serving.json",
+                          help="benchmark record path")
+    add_serving(loadtest)
+    loadtest.set_defaults(func=cmd_loadtest, duration=10.0)
     return parser
 
 

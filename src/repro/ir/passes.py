@@ -73,9 +73,39 @@ class _Rebuilder:
         self.mapping[node] = replacement
 
     def finish(self) -> Graph:
+        self._restore_interface_names()
         for out in self.source.outputs:
             self.target.mark_output(self.mapping[out])
         return self.target
+
+    def _restore_interface_names(self) -> None:
+        # Parameter and output names are the module's execution
+        # interface: feeds and results are keyed by them, and the graph
+        # fingerprint hashes them.  ``copy`` renumbers ("tanh.9" may
+        # come back as "tanh.1" once duplicates are gone), so put the
+        # original names back on the interface clones, evicting any
+        # unrelated clone that happens to hold one.
+        interface = [n for n in (*self.source.parameters,
+                                 *self.source.outputs)
+                     if n in self.mapping]
+        desired = {n.name for n in interface}
+        by_name = {n.name: n for n in self.target.nodes}
+        for node in interface:
+            clone = self.mapping[node]
+            if clone.name == node.name:
+                continue
+            squatter = by_name.get(node.name)
+            if squatter is not None and squatter is not clone:
+                fresh = self.target._unique_name(
+                    squatter.name.split(".")[0])
+                while fresh in desired or fresh in by_name:
+                    fresh = self.target._unique_name(fresh)
+                by_name.pop(squatter.name, None)
+                squatter.name = fresh
+                by_name[fresh] = squatter
+            by_name.pop(clone.name, None)
+            clone.name = node.name
+            by_name[node.name] = clone
 
 
 def dead_code_elimination(graph: Graph) -> tuple[Graph, int]:

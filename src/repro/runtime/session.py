@@ -22,6 +22,7 @@ entry pins the graph it was keyed for, so aliasing is impossible.
 
 from __future__ import annotations
 
+import threading
 from typing import Mapping, Optional
 
 import numpy as np
@@ -35,6 +36,10 @@ from repro.runtime.engine import Engine, Profile
 
 class Session:
     """Compile-once, run-many execution façade.
+
+    Safe for concurrent use: one session may be hammered from many
+    threads (module/profile caches are lock-guarded, first-compile
+    races deduplicate through the compile service's single-flight).
 
     Args:
         compiler: Compilation strategy (AStitch when omitted).
@@ -59,6 +64,13 @@ class Session:
         self.optimize_graphs = optimize_graphs
         self.service = service
         self.engine = Engine(spec)
+        # One session may serve many threads (the serving layer's
+        # workers, user thread pools): every read-modify-write of the
+        # caches below happens under this lock.  Compilation itself is
+        # left outside the critical section — the compile service does
+        # its own single-flight dedup, so concurrent first calls are
+        # coalesced there instead of serializing here.
+        self._lock = threading.Lock()
         self._modules: dict[str, tuple[Graph, CompiledModule]] = {}
         self._profiles: dict[str, Profile] = {}
         self.iterations = 0
@@ -66,12 +78,15 @@ class Session:
     def module(self, graph: Graph) -> CompiledModule:
         """The compiled module for ``graph`` (compiling on first use)."""
         key = graph_fingerprint(graph)
-        entry = self._modules.get(key)
+        with self._lock:
+            entry = self._modules.get(key)
         if entry is None:
             module = self.service.compile(graph, self.compiler, self.spec,
                                           optimize=self.optimize_graphs)
-            entry = (graph, module)
-            self._modules[key] = entry
+            with self._lock:
+                # Another thread may have raced us here; keep the first
+                # entry so callers always see one stable module object.
+                entry = self._modules.setdefault(key, (graph, module))
         return entry[1]
 
     def run(self, graph: Graph,
@@ -85,7 +100,8 @@ class Session:
         """
         module = self.module(graph)
         raw = module.execute(feeds)
-        self.iterations += 1
+        with self._lock:
+            self.iterations += 1
         if module.graph is graph:
             return raw
         renamed = {}
@@ -97,17 +113,20 @@ class Session:
     def profile(self, graph: Graph) -> Profile:
         """The priced profile of one iteration of ``graph``."""
         key = graph_fingerprint(graph)
-        cached = self._profiles.get(key)
+        with self._lock:
+            cached = self._profiles.get(key)
         if cached is None:
-            cached = self.engine.run(self.module(graph))
-            self._profiles[key] = cached
+            fresh = self.engine.run(self.module(graph))
+            with self._lock:
+                cached = self._profiles.setdefault(key, fresh)
         return cached
 
     @property
     def compile_seconds(self) -> float:
         """Total modeled JIT time this session's modules embody."""
-        return sum(module.compile_seconds
-                   for _, module in self._modules.values())
+        with self._lock:
+            modules = list(self._modules.values())
+        return sum(module.compile_seconds for _, module in modules)
 
     def __repr__(self) -> str:
         return (f"Session(compiler={self.compiler.name}, "

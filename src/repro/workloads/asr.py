@@ -16,7 +16,7 @@ from repro.workloads import layers
 
 def build_asr(frames: int = 480, features: int = 83, hidden: int = 256,
               num_layers: int = 12, vocab: int = 5000,
-              training: bool = False) -> Graph:
+              training: bool = False, batch: int = 1) -> Graph:
     """Build the ASR graph.
 
     Args:
@@ -27,8 +27,14 @@ def build_asr(frames: int = 480, features: int = 83, hidden: int = 256,
         num_layers: Transformer encoder layers.
         vocab: CTC output alphabet size.
         training: Append CTC-style loss and gradient tails.
+        batch: Concurrent utterances processed together (the serving
+            layer's dynamic-batching axis); every frame dimension scales
+            with it.
     """
     suffix = "-train" if training else ""
+    if batch != 1:
+        suffix += f"-b{batch}"
+    frames = frames * batch
     b = GraphBuilder(f"ASR{suffix}")
 
     spect = b.parameter("spectrogram", (frames, features))

@@ -17,7 +17,7 @@ from repro.workloads import layers
 
 def build_crnn(time_steps: int = 26, hidden: int = 256,
                conv_stages: int = 7, alphabet: int = 37,
-               training: bool = False) -> Graph:
+               training: bool = False, batch: int = 1) -> Graph:
     """Build the CRNN graph.
 
     Args:
@@ -26,8 +26,13 @@ def build_crnn(time_steps: int = 26, hidden: int = 256,
         conv_stages: Convolution layers in the feature extractor.
         alphabet: Output characters (26 letters + 10 digits + blank).
         training: CRNN is evaluated for inference only in the paper.
+        batch: Concurrent images processed together (the serving layer's
+            dynamic-batching axis); the pixel and column dimensions scale
+            with it while the recurrent unroll depth stays fixed.
     """
     suffix = "-train" if training else ""
+    if batch != 1:
+        suffix += f"-b{batch}"
     b = GraphBuilder(f"CRNN{suffix}")
 
     # Convolutional feature extractor.  Each stage is followed by the
@@ -36,9 +41,9 @@ def build_crnn(time_steps: int = 26, hidden: int = 256,
     # per-pixel reduction runs over a 32-wide group — a production
     # irregular shape (many rows, tiny width) of exactly the Fig 6(a)
     # kind that defeats XLA's block-per-row mapping.
-    x = b.parameter("image", (65536, 64))
+    x = b.parameter("image", (65536 * batch, 64))
     channels = 64
-    pixels = 65536
+    pixels = 65536 * batch
     for stage in range(conv_stages):
         filters = b.parameter(f"conv{stage}_filters", (3, 3))
         x = b.convolution(x, filters, (pixels, channels))
@@ -51,16 +56,16 @@ def build_crnn(time_steps: int = 26, hidden: int = 256,
         x = b.relu(b.reshape(normed, (pixels, channels)))
         if stage % 2:
             channels = min(512, channels * 2)
-            pixels = max(time_steps * 4, pixels // 2)
+            pixels = max(time_steps * 4 * batch, pixels // 2)
 
     features = b.convolution(
         x, b.parameter("collapse_filters", (2, 2)),
-        (time_steps, hidden))
+        (time_steps * batch, hidden))
 
     # Two bidirectional recurrent layers over the columns.
     sequence = features
     for direction in ("fwd", "bwd"):
-        state = b.parameter(f"{direction}_state", (1, hidden))
+        state = b.parameter(f"{direction}_state", (batch, hidden))
         weights = b.parameter(f"{direction}_weights",
                               (2 * hidden, hidden))
         outputs = []
@@ -73,11 +78,11 @@ def build_crnn(time_steps: int = 26, hidden: int = 256,
                                    b.reduce_max(sequence, axes=(1,)),
                                    sequence)),
                     axes=(1,), name=f"{direction}_sel_{t}"),
-                (1, time_steps))
+                (batch, time_steps))
             frame = b.reshape(
                 layers.dense(b, frame, hidden,
                              f"{direction}_proj_{t}", bias=False),
-                (1, hidden))
+                (batch, hidden))
             cell = b.rnn_cell(state, frame, weights,
                               name=f"{direction}_cell_{t}")
             state = layers.gru_gates(b, state, cell,
@@ -88,7 +93,7 @@ def build_crnn(time_steps: int = 26, hidden: int = 256,
             merged = b.add(merged, out)
         sequence = b.convolution(
             merged, b.parameter(f"{direction}_mix", (1, 1)),
-            (time_steps, hidden))
+            (time_steps * batch, hidden))
 
     # Per-frame alphabet softmax (CTC-style decoding head).
     logits = layers.dense(b, sequence, alphabet, "char_head")

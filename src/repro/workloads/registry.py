@@ -34,12 +34,17 @@ class WorkloadSpec:
         inference: Factory for the inference graph.
         training: Factory for the training graph (None when the paper
             evaluates inference only).
+        batched: Factory for an inference graph serving ``batch``
+            concurrent requests — the serving layer's dynamic batcher
+            rebuilds graphs through this hook (one graph per batch-size
+            bucket, amortized by the compile cache).
     """
 
     name: str
     field: str
     inference: Callable[[], Graph]
     training: Optional[Callable[[], Graph]] = None
+    batched: Optional[Callable[[int], Graph]] = None
 
 
 WORKLOADS: dict[str, WorkloadSpec] = {
@@ -47,17 +52,20 @@ WORKLOADS: dict[str, WorkloadSpec] = {
         name="CRNN",
         field="Images",
         inference=lambda: build_crnn(),
+        batched=lambda batch: build_crnn(batch=batch),
     ),
     "ASR": WorkloadSpec(
         name="ASR",
         field="Speech",
         inference=lambda: build_asr(),
+        batched=lambda batch: build_asr(batch=batch),
     ),
     "BERT": WorkloadSpec(
         name="BERT",
         field="NLP",
         inference=lambda: build_bert(batch=200),
         training=lambda: build_bert(batch=12, training=True),
+        batched=lambda batch: build_bert(batch=batch),
     ),
     "Transformer": WorkloadSpec(
         name="Transformer",
@@ -65,12 +73,14 @@ WORKLOADS: dict[str, WorkloadSpec] = {
         inference=lambda: build_transformer(),
         training=lambda: build_transformer(training=True,
                                            train_tokens=4096),
+        batched=lambda batch: build_transformer(batch=batch),
     ),
     "DIEN": WorkloadSpec(
         name="DIEN",
         field="Recommendation",
         inference=lambda: build_dien(batch=256),
         training=lambda: build_dien(batch=256, training=True),
+        batched=lambda batch: build_dien(batch=batch),
     ),
 }
 
@@ -85,14 +95,32 @@ def training_workloads() -> list[str]:
     return [name for name, spec in WORKLOADS.items() if spec.training]
 
 
-def build(name: str, training: bool = False) -> Graph:
+def build(name: str, training: bool = False,
+          batch: Optional[int] = None) -> Graph:
     """Build a registered workload graph.
+
+    Args:
+        name: Registered workload name.
+        training: Build the training variant.
+        batch: Build the inference graph for ``batch`` concurrent
+            requests instead of the paper's Table 2 configuration
+            (incompatible with ``training``).
 
     Raises:
         KeyError: Unknown workload name.
-        ValueError: Training requested for an inference-only workload.
+        ValueError: Training requested for an inference-only workload,
+            batch requested for a training build or for a workload
+            without a batched factory, or a non-positive batch.
     """
     spec = WORKLOADS[name]
+    if batch is not None:
+        if training:
+            raise ValueError("batched builds are inference-only")
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
+        if spec.batched is None:
+            raise ValueError(f"{name} has no batched configuration")
+        return spec.batched(batch)
     if training:
         if spec.training is None:
             raise ValueError(f"{name} is evaluated for inference only")

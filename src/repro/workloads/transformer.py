@@ -44,19 +44,27 @@ def build_transformer(beams: int = 64, hidden: int = 512,
                       num_layers: int = 6, decode_steps: int = 48,
                       vocab: int = 30_000, src_len: int = 64,
                       training: bool = False,
-                      train_tokens: int = 4096) -> Graph:
+                      train_tokens: int = 4096,
+                      batch: int = 1) -> Graph:
     """Build the Transformer graph.
 
     Inference unrolls ``decode_steps`` beam-search steps of a
     ``num_layers``-layer decoder, each ending in a vocabulary softmax over
-    ``<beams, vocab>`` — the paper's irregular-shape case.  Training is an
-    encoder-style pass over ``train_tokens`` tokens with loss/gradient
-    tails.
+    ``<batch*beams, vocab>`` — the paper's irregular-shape case.  Training
+    is an encoder-style pass over ``train_tokens`` tokens with
+    loss/gradient tails.
+
+    Args:
+        batch: Concurrent translation requests decoded together (the
+            serving layer's dynamic-batching axis); each request carries
+            its own ``beams`` beam rows.
     """
     if training:
         return _build_training(train_tokens, hidden, num_layers, vocab)
 
-    b = GraphBuilder("Transformer")
+    suffix = f"-b{batch}" if batch != 1 else ""
+    b = GraphBuilder(f"Transformer{suffix}")
+    beams = beams * batch
     memory = b.parameter("encoder_memory", (1, src_len, hidden))
     x = b.parameter("beam_state", (beams, hidden))
     for step in range(decode_steps):

@@ -1,0 +1,57 @@
+"""Tests for the shared summary-statistics helpers (analysis/stats.py)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import mean, percentile, summarize
+
+
+class TestPercentile:
+    def test_matches_numpy_linear_interpolation(self):
+        rng = np.random.default_rng(7)
+        values = list(rng.uniform(0, 100, size=257))
+        for p in (0, 10, 50, 90, 95, 99, 100):
+            assert percentile(values, p) == \
+                pytest.approx(float(np.percentile(values, p)))
+
+    def test_single_element(self):
+        assert percentile([42.0], 99) == 42.0
+
+    def test_unsorted_input(self):
+        assert percentile([3.0, 1.0, 2.0], 50) == 2.0
+
+    def test_rejects_empty_and_out_of_range(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+        with pytest.raises(ValueError):
+            percentile([1.0], -1)
+
+
+class TestMeanAndSummary:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+        assert mean([]) == 0.0
+        assert mean(x for x in (4.0, 6.0)) == 5.0
+
+    def test_summarize(self):
+        values = [float(v) for v in range(1, 101)]
+        summary = summarize(values)
+        assert summary.count == 100
+        assert summary.mean == pytest.approx(50.5)
+        assert summary.p50 == pytest.approx(np.percentile(values, 50))
+        assert summary.p99 == pytest.approx(np.percentile(values, 99))
+        assert summary.minimum == 1.0
+        assert summary.maximum == 100.0
+
+    def test_summarize_empty(self):
+        summary = summarize([])
+        assert summary.count == 0
+        assert summary.p99 == 0.0
+
+    def test_as_dict_round_trips_json(self):
+        import json
+        payload = json.loads(json.dumps(summarize([1.0, 2.0]).as_dict()))
+        assert payload["count"] == 2
+        assert payload["p50"] == 1.5

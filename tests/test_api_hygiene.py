@@ -15,7 +15,7 @@ import repro
 
 PACKAGES = ["repro", "repro.ir", "repro.gpu", "repro.codegen",
             "repro.compilers", "repro.core", "repro.workloads",
-            "repro.runtime", "repro.analysis"]
+            "repro.runtime", "repro.analysis", "repro.serving"]
 
 
 def _public_modules():

@@ -203,14 +203,90 @@ class TestPipeline:
         feeds = random_feeds(graph, seed=11, scale=0.5)
         want = evaluate(graph, feeds)
         got = evaluate(optimized, feeds)
-        # Output names are re-generated; compare by position.
-        assert len(got) == len(want)
-        for (wk, wv), (gk, gv) in zip(sorted(want.items()),
-                                      sorted(got.items())):
-            np.testing.assert_allclose(gv, wv, rtol=1e-3, atol=1e-4)
+        # Output names are the execution interface and survive
+        # optimization, so results compare key by key.
+        assert set(got) == set(want)
+        for key, value in want.items():
+            np.testing.assert_allclose(got[key], value,
+                                       rtol=1e-3, atol=1e-4)
 
     @given(random_graphs())
     @settings(max_examples=20, deadline=None)
     def test_optimize_never_grows(self, graph):
         optimized, _ = optimize(graph)
         assert len(optimized) <= len(graph)
+
+
+class TestInterfaceNames:
+    """Optimization must not rename the execution interface: feeds and
+    results are keyed by parameter/output names, and the graph
+    fingerprint (hence the compile cache) hashes them."""
+
+    def test_cse_keeps_late_output_name(self):
+        # Five duplicate tanh chains; the *last* duplicate is the
+        # output.  CSE keeps the output node but the rebuild used to
+        # renumber it down (tanh.4 -> tanh), silently changing the
+        # result key.
+        b = GraphBuilder()
+        x = b.parameter("x", (8,))
+        last = None
+        for _ in range(5):
+            last = b.tanh(x)
+        b.output(last)
+        graph = b.build()
+        assert graph.outputs[0].name == "tanh.4"
+        optimized, _ = optimize(graph)
+        assert [n.name for n in optimized.outputs] == ["tanh.4"]
+        feeds = random_feeds(graph, seed=3)
+        assert set(evaluate(optimized, feeds)) == {"tanh.4"}
+
+    def test_multiple_outputs_keep_distinct_names(self):
+        # Sorted-by-name pairing of results must stay stable even when
+        # dead duplicates between the outputs disappear.
+        b = GraphBuilder()
+        x0 = b.parameter("x0", (4,))
+        x1 = b.parameter("x1", (4,))
+        for _ in range(9):
+            b.tanh(x0)  # dead duplicates push the suffix to .9
+        b.output(b.tanh(x0))
+        b.output(b.tanh(x1))
+        graph = b.build()
+        names = [n.name for n in graph.outputs]
+        assert names == ["tanh.9", "tanh.10"]
+        optimized, _ = optimize(graph)
+        assert [n.name for n in optimized.outputs] == names
+        feeds = random_feeds(graph, seed=4)
+        want = evaluate(graph, feeds)
+        got = evaluate(optimized, feeds)
+        for key, value in want.items():
+            np.testing.assert_allclose(got[key], value, rtol=1e-6)
+
+    def test_dotted_parameter_name_survives(self):
+        # The rebuild names clones from the stem before the first dot;
+        # a parameter named like "w.1" must not collapse to "w".
+        b = GraphBuilder()
+        w = b.parameter("w.1", (4,))
+        b.tanh(w)  # dead, forces a DCE rebuild
+        b.output(b.add(b.tanh(w), b.tanh(w)))
+        graph = b.build()
+        optimized, _ = optimize(graph)
+        assert "w.1" in {n.name for n in optimized.parameters}
+        feeds = {"w.1": np.ones(4, dtype=np.float32)}
+        evaluate(optimized, feeds)  # feed keys still resolve
+
+    def test_squatter_clone_is_evicted(self):
+        # A surviving non-output clone can land on the output's
+        # original name; it must be moved aside, not the output.
+        b = GraphBuilder()
+        x = b.parameter("x", (8,))
+        kept = b.tanh(b.exp(x))        # tanh
+        b.tanh(x)                      # tanh.1, dead
+        out = b.tanh(b.abs(kept))      # tanh.2 -> clone would be tanh.1
+        b.output(out)
+        b.output(kept)
+        graph = b.build()
+        assert out.name == "tanh.2"
+        optimized, _ = optimize(graph)
+        assert [n.name for n in optimized.outputs] == ["tanh.2", "tanh"]
+        assert len({n.name for n in optimized.nodes}) == len(
+            optimized.nodes)

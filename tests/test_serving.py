@@ -1,0 +1,179 @@
+"""Unit tests for the serving building blocks (request/queue/batcher/
+loadgen)."""
+
+import pytest
+
+from repro.serving import (
+    AdmissionQueue,
+    DynamicBatcher,
+    Request,
+    arrivals_from_trace,
+    bucket_for,
+    bucket_sizes,
+    mixed_arrivals,
+    poisson_arrivals,
+    write_trace,
+)
+
+
+def _request(seq, workload="CRNN", arrival=0.0, slo=0.5):
+    return Request(seq=seq, workload=workload, arrival=arrival, slo=slo)
+
+
+class TestRequest:
+    def test_lifecycle_properties(self):
+        request = _request(0, arrival=1.0, slo=0.25)
+        assert request.deadline == 1.25
+        assert request.latency is None
+        assert not request.violated_slo
+        request.started = 1.1
+        request.completed = 1.2
+        assert request.latency == pytest.approx(0.2)
+        assert request.queueing_delay == pytest.approx(0.1)
+        assert not request.violated_slo
+        request.completed = 1.3
+        assert request.violated_slo
+
+    def test_dropped_counts_as_violation(self):
+        request = _request(0)
+        request.dropped = True
+        assert request.violated_slo
+
+
+class TestAdmissionQueue:
+    def test_fifo_buckets_by_workload(self):
+        queue = AdmissionQueue()
+        queue.push(_request(0, "CRNN", arrival=0.0))
+        queue.push(_request(1, "BERT", arrival=0.1))
+        queue.push(_request(2, "CRNN", arrival=0.2))
+        assert queue.depth() == 3
+        assert queue.depth("CRNN") == 2
+        assert queue.oldest_arrival("CRNN") == 0.0
+        assert sorted(queue.workloads()) == ["BERT", "CRNN"]
+        taken = queue.take("CRNN", 5)
+        assert [r.seq for r in taken] == [0, 2]
+        assert queue.depth("CRNN") == 0
+        assert queue.depth() == 1
+
+    def test_earliest_deadline(self):
+        queue = AdmissionQueue()
+        queue.push(_request(0, arrival=0.0, slo=1.0))
+        queue.push(_request(1, arrival=0.5, slo=0.1))
+        assert queue.earliest_deadline("CRNN") == pytest.approx(0.6)
+        assert queue.earliest_deadline("BERT") is None
+
+    def test_admission_cap_drops(self):
+        queue = AdmissionQueue(max_depth=2)
+        assert queue.push(_request(0))
+        assert queue.push(_request(1))
+        rejected = _request(2)
+        assert not queue.push(rejected)
+        assert rejected.dropped
+        assert queue.dropped == 1
+        assert queue.admitted == 2
+
+    def test_rejects_bad_cap(self):
+        with pytest.raises(ValueError):
+            AdmissionQueue(max_depth=0)
+
+
+class TestBuckets:
+    def test_bucket_ladder(self):
+        assert bucket_sizes(8) == [1, 2, 4, 8]
+        assert bucket_sizes(1) == [1]
+        assert bucket_sizes(6) == [1, 2, 4, 6]
+
+    def test_bucket_for(self):
+        assert bucket_for(1, 8) == 1
+        assert bucket_for(3, 8) == 4
+        assert bucket_for(8, 8) == 8
+        assert bucket_for(5, 6) == 6
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            bucket_sizes(0)
+
+
+class TestDynamicBatcher:
+    def test_full_bucket_forms_immediately(self):
+        queue = AdmissionQueue()
+        batcher = DynamicBatcher(max_batch=2, max_wait=1.0)
+        queue.push(_request(0, arrival=0.0))
+        assert batcher.try_form(queue, "CRNN", now=0.0) is None
+        queue.push(_request(1, arrival=0.1))
+        batch = batcher.try_form(queue, "CRNN", now=0.1)
+        assert batch is not None
+        assert batch.size == 2
+        assert batch.bucket == 2
+        assert queue.depth() == 0
+        assert all(r.batched_at == 0.1 for r in batch.requests)
+
+    def test_max_wait_forces_partial_batch(self):
+        queue = AdmissionQueue()
+        batcher = DynamicBatcher(max_batch=8, max_wait=0.01)
+        queue.push(_request(0, arrival=0.0))
+        queue.push(_request(1, arrival=0.005))
+        assert batcher.try_form(queue, "CRNN", now=0.009) is None
+        batch = batcher.try_form(queue, "CRNN", now=0.01)
+        assert batch is not None
+        assert batch.size == 2
+        assert batch.bucket == 2  # padded to the power-of-two bucket
+
+    def test_scheduling_keys(self):
+        queue = AdmissionQueue()
+        batcher = DynamicBatcher(max_batch=2, max_wait=0.0)
+        queue.push(_request(0, arrival=0.3, slo=0.1))
+        queue.push(_request(1, arrival=0.4, slo=0.9))
+        batch = batcher.try_form(queue, "CRNN", now=0.4)
+        assert batch.oldest_arrival == pytest.approx(0.3)
+        assert batch.earliest_deadline == pytest.approx(0.4)
+
+    def test_rejects_negative_wait(self):
+        with pytest.raises(ValueError):
+            DynamicBatcher(max_wait=-1.0)
+
+
+class TestLoadgen:
+    def test_poisson_is_deterministic_and_rate_accurate(self):
+        a = poisson_arrivals("CRNN", qps=50, duration=20, seed=3)
+        b = poisson_arrivals("CRNN", qps=50, duration=20, seed=3)
+        assert [r.arrival for r in a] == [r.arrival for r in b]
+        assert [r.seq for r in a] == list(range(len(a)))
+        assert all(0 <= r.arrival < 20 for r in a)
+        # Mean rate within 20% of nominal for a 1000-sample stream.
+        assert len(a) == pytest.approx(50 * 20, rel=0.2)
+
+    def test_different_seeds_differ(self):
+        a = poisson_arrivals("CRNN", qps=50, duration=5, seed=1)
+        b = poisson_arrivals("CRNN", qps=50, duration=5, seed=2)
+        assert [r.arrival for r in a] != [r.arrival for r in b]
+
+    def test_mixed_arrivals_merge_sorted(self):
+        stream = mixed_arrivals({"CRNN": 30, "BERT": 10}, duration=10,
+                                seed=5)
+        arrivals = [r.arrival for r in stream]
+        assert arrivals == sorted(arrivals)
+        assert [r.seq for r in stream] == list(range(len(stream)))
+        workloads = {r.workload for r in stream}
+        assert workloads == {"CRNN", "BERT"}
+        crnn = sum(1 for r in stream if r.workload == "CRNN")
+        bert = sum(1 for r in stream if r.workload == "BERT")
+        assert crnn > bert
+
+    def test_trace_round_trip(self, tmp_path):
+        stream = poisson_arrivals("BERT", qps=20, duration=5, seed=9,
+                                  slo=0.25)
+        path = tmp_path / "trace.jsonl"
+        write_trace(stream, str(path))
+        loaded = arrivals_from_trace(str(path))
+        assert len(loaded) == len(stream)
+        for original, copy in zip(stream, loaded):
+            assert copy.workload == original.workload
+            assert copy.arrival == pytest.approx(original.arrival)
+            assert copy.slo == pytest.approx(original.slo)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            poisson_arrivals("CRNN", qps=0, duration=1)
+        with pytest.raises(ValueError):
+            poisson_arrivals("CRNN", qps=1, duration=0)

@@ -1,0 +1,199 @@
+"""Integration tests: cluster simulation, metrics, harness, trace."""
+
+import json
+
+import pytest
+
+from repro.compilers import XLACompiler
+from repro.core import AStitchCompiler
+from repro.gpu.spec import T4, V100
+from repro.serving import (
+    AdmissionQueue,
+    Cluster,
+    DynamicBatcher,
+    ServiceTimeOracle,
+    make_fleet,
+    max_sustainable_qps,
+    poisson_arrivals,
+    report,
+    run_loadtest,
+    serving_to_chrome_trace,
+)
+
+
+def _simulate(workload="BERT", qps=50.0, duration=5.0, **kwargs):
+    return run_loadtest(workload, qps=qps, duration=duration, **kwargs)
+
+
+class TestClusterSimulation:
+    def test_deterministic_given_seed(self):
+        first = _simulate(seed=11)[1].as_dict()
+        second = _simulate(seed=11)[1].as_dict()
+        assert first == second
+
+    def test_every_admitted_request_completes(self):
+        result, summary = _simulate(qps=30, duration=4, seed=2)
+        assert summary.dropped == 0
+        assert summary.completed == summary.requests
+        for request in result.requests:
+            assert request.batched_at is not None
+            assert request.completed is not None
+            assert request.arrival <= request.batched_at
+            assert request.batched_at <= request.started
+            assert request.started < request.completed
+
+    def test_workers_never_overlap_executions(self):
+        result, _ = _simulate(qps=80, duration=4, seed=3,
+                              specs=[V100, V100])
+        for worker in result.workers:
+            cursor = 0.0
+            for execution in worker.executions:
+                assert execution.start >= cursor - 1e-12
+                cursor = execution.end
+
+    def test_batching_kicks_in_under_load(self):
+        # At high offered load the batcher should form multi-request
+        # batches instead of shipping everything alone.
+        result, summary = _simulate(qps=400, duration=2, seed=4,
+                                    max_batch=8, max_wait=0.02)
+        assert summary.mean_batch_size > 1.5
+        assert len(result.executions) < summary.requests
+        assert max(summary.batch_histogram) > 1
+
+    def test_overload_grows_makespan_and_violations(self):
+        # Far past capacity, the queue grows without bound: the fleet
+        # drains long after the offered window and the tail blows up.
+        _, light = _simulate(qps=10, duration=4, seed=5)
+        _, heavy = _simulate(qps=10000, duration=4, seed=5)
+        assert light.slo_violation_rate == 0.0
+        assert heavy.makespan > 4.0
+        assert heavy.slo_violation_rate > 0.5
+        assert heavy.latency.p99 > light.latency.p99
+
+    def test_admission_cap_drops_requests(self):
+        _, summary = _simulate(qps=10000, duration=1, seed=6,
+                               max_depth=16)
+        assert summary.dropped > 0
+        assert summary.completed + summary.dropped == summary.requests
+
+    def test_mixed_workload_streams(self):
+        result, summary = run_loadtest({"BERT": 40, "DIEN": 20},
+                                       duration=3, seed=7)
+        workloads = {r.workload for r in result.requests}
+        assert workloads == {"BERT", "DIEN"}
+        assert summary.completed == summary.requests
+        # Batches never mix workloads (shape-bucketed admission).
+        for execution in result.executions:
+            assert len({r.workload
+                        for r in execution.batch.requests}) == 1
+
+    def test_rejects_bad_config(self):
+        oracle = ServiceTimeOracle(AStitchCompiler())
+        with pytest.raises(ValueError):
+            Cluster([], DynamicBatcher())
+        with pytest.raises(ValueError):
+            Cluster(make_fleet([V100], oracle), DynamicBatcher(),
+                    policy="random")
+
+
+class TestSchedulingPolicies:
+    @pytest.mark.parametrize("policy", ["fifo", "edf", "least-loaded"])
+    def test_policies_run_and_complete(self, policy):
+        result, summary = _simulate(qps=60, duration=3, seed=8,
+                                    policy=policy, specs=[V100, V100])
+        assert summary.completed == summary.requests
+        assert summary.policy == policy
+
+    def test_least_loaded_balances_mixed_fleet_by_speed(self):
+        # A V100 is faster than a T4, so balancing by accumulated busy
+        # time must send the V100 at least as many batches.
+        result, _ = _simulate(qps=120, duration=4, seed=9,
+                              specs=[V100, T4], policy="least-loaded")
+        v100, t4 = result.workers
+        assert v100.spec.name == "V100"
+        assert len(v100.executions) >= len(t4.executions)
+        assert t4.executions  # both sides of the fleet did real work
+
+    def test_edf_orders_pending_batches_by_deadline(self):
+        # One worker, three near-simultaneous arrivals with reversed
+        # SLOs (the last arrival has the tightest deadline): while the
+        # first batch occupies the worker, EDF must start the remaining
+        # two in deadline order, not arrival order.
+        from repro.serving import Request
+        oracle = ServiceTimeOracle(AStitchCompiler())
+        requests = [
+            Request(seq=seq, workload="BERT", arrival=0.001 * seq,
+                    slo=slo)
+            for seq, slo in enumerate([0.9, 0.5, 0.1])
+        ]
+        cluster = Cluster(make_fleet([T4], oracle),
+                          DynamicBatcher(max_batch=1, max_wait=0.0),
+                          policy="edf")
+        result = cluster.run(list(requests))
+        later = sorted(result.requests, key=lambda r: r.started)[1:]
+        assert [r.seq for r in later] == [2, 1]
+
+
+class TestMetricsAndTrace:
+    def test_report_numbers_are_consistent(self):
+        result, summary = _simulate(qps=50, duration=4, seed=10)
+        assert summary.requests == len(result.requests)
+        assert summary.completed_qps == pytest.approx(
+            summary.completed / result.makespan)
+        assert 0.0 <= summary.slo_violation_rate <= 1.0
+        assert sum(summary.batch_histogram.values()) == \
+            len(result.executions)
+        for utilization in summary.worker_utilization.values():
+            assert 0.0 <= utilization <= 1.0
+
+    def test_report_round_trips_json(self):
+        _, summary = _simulate(qps=40, duration=3, seed=11)
+        decoded = json.loads(json.dumps(summary.as_dict()))
+        assert decoded["compiler"] == "AStitch"
+        assert decoded["latency_ms"]["p99"] >= \
+            decoded["latency_ms"]["p50"]
+
+    def test_chrome_trace_conventions(self):
+        result, _ = _simulate(qps=80, duration=2, seed=12,
+                              specs=[V100, V100])
+        trace = json.loads(json.dumps(serving_to_chrome_trace(result)))
+        assert trace["displayTimeUnit"] == "ns"
+        batch_events = [e for e in trace["traceEvents"]
+                        if e["cat"] == "batch"]
+        counter_events = [e for e in trace["traceEvents"]
+                          if e["cat"] == "queue"]
+        assert batch_events and counter_events
+        assert all(e["ph"] == "X" for e in batch_events)
+        assert all(e["ph"] == "C" for e in counter_events)
+        # One track per worker, starting at tid 1 (host track is 0).
+        assert {e["tid"] for e in batch_events} == {1, 2}
+        assert {e["tid"] for e in counter_events} == {0}
+        assert trace["otherData"]["workers"] == {"w0": "V100",
+                                                 "w1": "V100"}
+
+
+class TestHarness:
+    def test_oracle_memoizes_and_batching_is_sublinear(self):
+        oracle = ServiceTimeOracle(AStitchCompiler())
+        single = oracle.service_time("BERT", 1, V100)
+        assert oracle.service_time("BERT", 1, V100) == single
+        batched = oracle.service_time("BERT", 8, V100)
+        # Batching 8 requests must cost less than 8 independent runs.
+        assert single < batched < 8 * single
+
+    def test_capacity_search_astitch_beats_xla(self):
+        kwargs = dict(slo=0.05, duration=4.0, resolution=2.0,
+                      start_qps=16.0)
+        astitch = max_sustainable_qps("BERT", AStitchCompiler(),
+                                      **kwargs)
+        xla = max_sustainable_qps("BERT", XLACompiler(), **kwargs)
+        assert astitch.qps > xla.qps > 0
+        assert astitch.p99_at_qps <= kwargs["slo"]
+        assert xla.p99_at_qps <= kwargs["slo"]
+
+    def test_more_workers_sustain_more_load(self):
+        _, one = _simulate(qps=700, duration=2, seed=13, specs=[V100])
+        _, two = _simulate(qps=700, duration=2, seed=13,
+                           specs=[V100, V100])
+        assert two.latency.p99 <= one.latency.p99
+        assert two.slo_violation_rate <= one.slo_violation_rate

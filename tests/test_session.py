@@ -80,6 +80,43 @@ class TestSession:
         assert set(got) == {out.name for out in graph.outputs}
 
 
+class TestSessionConcurrency:
+    def test_many_threads_hammer_one_session(self):
+        # The serving layer shares one session-like surface across
+        # worker threads; run/module/profile from many threads must
+        # neither crash nor duplicate cache entries.
+        import concurrent.futures
+
+        graphs = [micro.softmax_graph(16, 8),
+                  micro.fig7_subgraph(16, 8),
+                  micro.softmax_graph(32, 8)]
+        feeds = [random_feeds(graph, seed=50 + i)
+                 for i, graph in enumerate(graphs)]
+        session = Session(service=CompileService(cache=CompileCache(),
+                                                 max_workers=2))
+        iterations_per_thread = 8
+
+        def hammer(thread_id: int):
+            for i in range(iterations_per_thread):
+                graph = graphs[(thread_id + i) % len(graphs)]
+                feed = feeds[(thread_id + i) % len(graphs)]
+                session.run(graph, feed)
+                session.profile(graph)
+                session.module(graph)
+            return session.compile_seconds
+
+        with concurrent.futures.ThreadPoolExecutor(8) as pool:
+            results = list(pool.map(hammer, range(8)))
+        assert all(seconds > 0 for seconds in results)
+        assert session.iterations == 8 * iterations_per_thread
+        # One cached module and one cached profile per distinct graph.
+        assert len(session._modules) == len(graphs)
+        assert len(session._profiles) == len(graphs)
+        for graph in graphs:
+            assert session.module(graph) is session.module(graph)
+            assert session.profile(graph) is session.profile(graph)
+
+
 class TestTimelineTrace:
     def test_streams_become_tracks(self):
         module = XLACompiler().compile(micro.fig7_subgraph(128, 64))
