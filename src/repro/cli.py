@@ -90,8 +90,8 @@ def cmd_run(args) -> int:
         print()
     if args.explain:
         from repro.codegen.builder import kernel_cost_inputs
-        from repro.gpu.costmodel import KernelCostModel
-        cost_model = KernelCostModel(spec)
+        from repro.gpu.costmodel import cost_model_for
+        cost_model = cost_model_for(spec)
         kernels = sorted(module.kernels(), key=lambda k: -cost_model
                          .price(kernel_cost_inputs(k)).duration)[:5]
         rows = []
@@ -359,6 +359,48 @@ def cmd_loadtest(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    """Run the hot-path benchmark; records BENCH_hotpath.json + .txt.
+
+    Measures cold-vs-warm pricing through the execution-plan layer: a
+    mixed loadtest on a cold process state versus warm caches, the
+    figure-harness pricing loop, and per-module plan build/replay
+    micro-timings.  Exits non-zero when the warm/cold speedup misses
+    ``--floor`` or the fast path diverges from the scalar slow path.
+    """
+    import json
+    import pathlib
+
+    from repro.analysis.hotpath import (render_hotpath_report,
+                                        run_hotpath_bench)
+
+    workloads = _canonical_workloads(
+        args.workload if args.workload else ["Transformer", "CRNN"])
+    payload = run_hotpath_bench(
+        qps=args.qps, duration=args.duration, workloads=workloads,
+        max_batch=args.max_batch, seed=args.seed,
+        specs=tuple(_fleet_specs(args)))
+
+    output = pathlib.Path(args.output)
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+    text = render_hotpath_report(payload)
+    output.with_suffix(".txt").write_text(text + "\n")
+    print(text)
+    print(f"wrote {output} and {output.with_suffix('.txt')}")
+
+    failures = []
+    if not payload["deterministic"]:
+        failures.append("plan fast path diverged from the scalar "
+                        "slow path")
+    speedup = payload["loadtest"]["speedup"]
+    if speedup < args.floor:
+        failures.append(f"warm loadtest only {speedup:.1f}x faster "
+                        f"than cold (floor {args.floor}x)")
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    return 1 if failures else 0
+
+
 def make_parser() -> argparse.ArgumentParser:
     """Build the argument parser for all subcommands."""
     parser = argparse.ArgumentParser(
@@ -481,6 +523,22 @@ def make_parser() -> argparse.ArgumentParser:
                           help="benchmark record path")
     add_serving(loadtest)
     loadtest.set_defaults(func=cmd_loadtest, duration=10.0)
+
+    bench = sub.add_parser(
+        "bench",
+        help="hot-path (plan cache) cold-vs-warm benchmark")
+    bench.add_argument("--workload", action="append", default=[],
+                       help="workload(s) in the mix (repeatable / "
+                            "comma-separated; default Transformer,CRNN)")
+    bench.add_argument("--qps", type=float, default=250.0,
+                       help="offered load per workload (queries/s)")
+    bench.add_argument("--floor", type=float, default=5.0,
+                       help="minimum warm/cold loadtest speedup; exit "
+                            "1 below it")
+    bench.add_argument("--output", default="BENCH_hotpath.json",
+                       help="benchmark record path (.txt twin beside it)")
+    add_serving(bench)
+    bench.set_defaults(func=cmd_bench, duration=21.0)
     return parser
 
 

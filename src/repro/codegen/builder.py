@@ -128,6 +128,11 @@ def kernel_smem_bytes(kernel: Kernel) -> int:
 def kernel_cost_inputs(kernel: Kernel) -> KernelCostInputs:
     """Derive the cost-model inputs implied by a kernel's decisions.
 
+    Memoized per kernel object: the derivation walks every node, and the
+    pricing layer asks for it once when fingerprinting a module's plan
+    key and again when pricing — kernels are immutable once a compiler
+    returns them, so the first derivation is kept on the kernel.
+
     Traffic accounting:
     * every kernel input is loaded once (caches collapse broadcast re-reads
       of small operands);
@@ -141,6 +146,15 @@ def kernel_cost_inputs(kernel: Kernel) -> KernelCostInputs:
     per-element inlining across one-to-many dependencies shows up here as
     ``redundancy > 1`` (the Fig 5 effect).
     """
+    cached = getattr(kernel, "_cost_inputs", None)
+    if cached is not None:
+        return cached
+    inputs = _derive_cost_inputs(kernel)
+    kernel._cost_inputs = inputs
+    return inputs
+
+
+def _derive_cost_inputs(kernel: Kernel) -> KernelCostInputs:
     if all(n.kind is OpKind.RESHAPE for n in kernel.nodes):
         # A pure-reshape kernel is a metadata operation: frameworks alias
         # the buffer instead of copying it.

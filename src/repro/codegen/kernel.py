@@ -68,6 +68,14 @@ class Kernel:
     regs_per_thread: int = 32
     smem_per_block: int = 0
 
+    def __getstate__(self):
+        # Derived memos (the kernel_cost_inputs cache) never persist:
+        # a pickled kernel in the compile cache must re-derive under the
+        # code that loads it, not the code that stored it.
+        state = self.__dict__.copy()
+        state.pop("_cost_inputs", None)
+        return state
+
     def placement(self, node: Node) -> MemorySpace:
         return self.placements.get(node, MemorySpace.REGISTER)
 

@@ -31,7 +31,7 @@ from repro.compilers.common import (
 from repro.codegen.builder import kernel_cost_inputs, make_kernel
 from repro.codegen import mapping as mappings
 from repro.codegen.schedule import ThreadMapping
-from repro.gpu.costmodel import KernelCostModel
+from repro.gpu.costmodel import cost_model_for
 from repro.gpu.spec import GPUSpec, V100
 from repro.ir.graph import Graph, Node
 from repro.ir.ops import OpKind
@@ -70,7 +70,9 @@ class AnsorCompiler(Compiler):
     name = "Ansor"
 
     def compile(self, graph: Graph, spec: GPUSpec = V100) -> CompiledModule:
-        cost_model = KernelCostModel(spec)
+        # The shared memoized model: tuning probes repeat launch
+        # configurations heavily, within a compile and across compiles.
+        cost_model = cost_model_for(spec)
 
         def tuned_mapping(root: Node) -> ThreadMapping:
             best = None

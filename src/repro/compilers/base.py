@@ -63,8 +63,25 @@ class CompiledModule:
 
     def execute(self, feeds: Mapping[str, np.ndarray],
                 ) -> dict[str, np.ndarray]:
-        """Run the module's numerics (correctness path)."""
-        return ModuleExecutor(self.graph, self.steps).run(feeds)
+        """Run the module's numerics (correctness path).
+
+        The step list is compiled into a :class:`ModuleExecutor` once,
+        on first use; repeated executions replay the bound program.
+        """
+        executor = self.__dict__.get("_executor")
+        if executor is None:
+            executor = ModuleExecutor(self.graph, self.steps)
+            self.__dict__["_executor"] = executor
+        return executor.run(feeds)
+
+    def __getstate__(self):
+        # Derived memos (the bound executor, the plan-cache pricing
+        # signature) never persist: a module loaded from the compile
+        # cache must re-derive them under the code that loads it.
+        state = self.__dict__.copy()
+        state.pop("_executor", None)
+        state.pop("_pricing_signature", None)
+        return state
 
 
 class Compiler(abc.ABC):

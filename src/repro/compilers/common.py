@@ -19,6 +19,7 @@ each use path.
 from __future__ import annotations
 
 from collections.abc import Callable, Iterable
+from typing import Optional
 
 from repro.codegen.builder import make_kernel
 from repro.codegen.kernel import Kernel
@@ -31,11 +32,19 @@ from repro.ir import patterns
 MappingFn = Callable[[Node], ThreadMapping]
 
 
-def has_external_user(graph: Graph, node: Node,
-                      component: set[Node]) -> bool:
+def has_external_user(graph: Graph, node: Node, component: set[Node],
+                      graph_outputs: Optional[set[Node]] = None) -> bool:
     """True when the value must be materialized for consumers outside the
-    memory-intensive component (or is a graph output / sink)."""
-    if node in set(graph.outputs):
+    memory-intensive component (or is a graph output / sink).
+
+    Args:
+        graph_outputs: Pre-built output set; pass it when calling in a
+            loop (the root rules check every component node) so the set
+            is not rebuilt per node.
+    """
+    if graph_outputs is None:
+        graph_outputs = set(graph.outputs)
+    if node in graph_outputs:
         return True
     users = graph.users(node)
     if not users:
@@ -59,13 +68,14 @@ def xla_fusion_roots(graph: Graph, component: list[Node]) -> list[Node]:
     the producer subtree into every consumer kernel.
     """
     comp_set = set(component)
+    graph_outputs = set(graph.outputs)
     roots = []
     for node in component:
         materialize_shared = (
             patterns.operator_fan_out(graph, node) >= 2
             and node.num_elements > _XLA_DUPLICATION_LIMIT
             and node.kind not in (OpKind.BROADCAST, OpKind.RESHAPE))
-        if (has_external_user(graph, node, comp_set)
+        if (has_external_user(graph, node, comp_set, graph_outputs)
                 or patterns.is_reduce_with_consumers(graph, node)
                 or patterns.is_heavy_followed_by_broadcast(graph, node)
                 or materialize_shared):
@@ -76,9 +86,10 @@ def xla_fusion_roots(graph: Graph, component: list[Node]) -> list[Node]:
 def tvm_fusion_roots(graph: Graph, component: list[Node]) -> list[Node]:
     """Roots under TVM's rule (break only at reduces; fuse pattern (2))."""
     comp_set = set(component)
+    graph_outputs = set(graph.outputs)
     roots = []
     for node in component:
-        if (has_external_user(graph, node, comp_set)
+        if (has_external_user(graph, node, comp_set, graph_outputs)
                 or patterns.is_reduce_with_consumers(graph, node)):
             roots.append(node)
     return roots

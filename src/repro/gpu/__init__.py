@@ -9,7 +9,8 @@ and the nvprof counters the evaluation reports.
 from repro.gpu.spec import GPUSpec, V100, T4, A100
 from repro.gpu.occupancy import OccupancyResult, occupancy
 from repro.gpu.counters import PerfCounters
-from repro.gpu.costmodel import KernelCostInputs, KernelCostModel
+from repro.gpu.costmodel import (KernelCostInputs, KernelCostModel,
+                                 cost_model_for)
 from repro.gpu.barrier import global_barrier_latency
 from repro.gpu.memory import MemorySpace, Buffer, GlobalMemoryPool
 
@@ -23,6 +24,7 @@ __all__ = [
     "PerfCounters",
     "KernelCostInputs",
     "KernelCostModel",
+    "cost_model_for",
     "global_barrier_latency",
     "MemorySpace",
     "Buffer",

@@ -21,6 +21,10 @@ from __future__ import annotations
 
 import dataclasses
 import math
+from collections.abc import Sequence
+from typing import Optional
+
+import numpy as np
 
 from repro.gpu.barrier import global_barrier_latency
 from repro.gpu.counters import PerfCounters
@@ -46,6 +50,10 @@ _WAVE_LATENCY = 0.5e-6
 @dataclasses.dataclass(frozen=True)
 class KernelCostInputs:
     """Everything the cost model needs to price one kernel.
+
+    Frozen, so instances hash and compare by value — two kernels with
+    identical launch/traffic/instruction numbers share one memoized
+    price, and any field difference is a distinct memo key.
 
     Attributes:
         grid_size: Thread blocks launched.
@@ -74,10 +82,20 @@ class KernelCostInputs:
 
 
 class KernelCostModel:
-    """Prices kernels on a given device and emits nvprof-style counters."""
+    """Prices kernels on a given device and emits nvprof-style counters.
+
+    ``price`` is memoized by its (hashable) :class:`KernelCostInputs`:
+    a module full of structurally identical kernels pays the roofline
+    arithmetic once, and repeated pricing of the same module is pure
+    dict lookups.  Callers must treat returned counters as immutable —
+    memo hits share the object.
+    """
 
     def __init__(self, spec: GPUSpec):
         self.spec = spec
+        self._memo: dict[KernelCostInputs, PerfCounters] = {}
+        self.memo_hits = 0
+        self.memo_misses = 0
 
     def memory_time(self, inputs: KernelCostInputs, occ: float) -> float:
         """DRAM transfer time under occupancy-derated bandwidth."""
@@ -98,10 +116,23 @@ class KernelCostModel:
     def price(self, inputs: KernelCostInputs) -> PerfCounters:
         """Produce the counters (including duration) for one kernel.
 
+        Memoized: equal inputs return the shared cached counters.
+
         Raises:
             ValueError: If a global barrier is requested with more blocks
                 than one wave can host (would deadlock on hardware).
         """
+        cached = self._memo.get(inputs)
+        if cached is not None:
+            self.memo_hits += 1
+            return cached
+        self.memo_misses += 1
+        counters = self._price_uncached(inputs)
+        self._memo[inputs] = counters
+        return counters
+
+    def _price_uncached(self, inputs: KernelCostInputs) -> PerfCounters:
+        """The scalar reference pricing path (no memo, no vectorization)."""
         spec = self.spec
         occ = achieved_occupancy(spec, inputs.grid_size, inputs.block_size,
                                  inputs.regs_per_thread,
@@ -132,6 +163,94 @@ class KernelCostModel:
             sm_efficiency=sm_eff,
             duration=time,
         )
+
+    def price_batch(self, inputs_list: Sequence[KernelCostInputs],
+                    ) -> list[PerfCounters]:
+        """Price many kernels in one vectorized NumPy pass.
+
+        Bit-identical to calling :meth:`price` per kernel: the roofline
+        arithmetic runs on float64 arrays with the exact operation order
+        of the scalar path (IEEE-754 ops are correctly rounded either
+        way), and the occupancy lookups go through the same memoized
+        calculator.  Results are deduplicated against — and seeded
+        into — the price memo, so a scalar re-price later is a hit.
+        """
+        results: list[Optional[PerfCounters]] = [None] * len(inputs_list)
+        fresh: dict[KernelCostInputs, Optional[PerfCounters]] = {}
+        for i, inputs in enumerate(inputs_list):
+            cached = self._memo.get(inputs)
+            if cached is not None:
+                self.memo_hits += 1
+                results[i] = cached
+            else:
+                fresh.setdefault(inputs, None)
+        if fresh:
+            unique = list(fresh)
+            self.memo_misses += len(unique)
+            for inputs, counters in zip(unique,
+                                        self._price_vectorized(unique)):
+                self._memo[inputs] = counters
+                fresh[inputs] = counters
+        for i, inputs in enumerate(inputs_list):
+            if results[i] is None:
+                results[i] = fresh[inputs]
+        return results
+
+    def _price_vectorized(self, unique: list[KernelCostInputs],
+                          ) -> list[PerfCounters]:
+        """Roofline arithmetic for distinct kernels as one array pass."""
+        spec = self.spec
+        n = len(unique)
+        occs = np.empty(n)
+        sm_effs = np.empty(n)
+        waves = np.empty(n)
+        for k, inputs in enumerate(unique):
+            occs[k] = achieved_occupancy(
+                spec, inputs.grid_size, inputs.block_size,
+                inputs.regs_per_thread, inputs.smem_per_block)
+            sm_effs[k] = sm_efficiency(
+                spec, inputs.grid_size, inputs.block_size,
+                inputs.regs_per_thread, inputs.smem_per_block)
+            waves[k] = occupancy(spec, inputs.block_size,
+                                 inputs.regs_per_thread,
+                                 inputs.smem_per_block).blocks_per_wave
+        grid = np.array([i.grid_size for i in unique], dtype=np.float64)
+        bytes_read = np.array([i.bytes_read for i in unique])
+        bytes_written = np.array([i.bytes_written for i in unique])
+        fp = np.array([i.fp_instructions for i in unique])
+
+        # Same expressions, same association order as the scalar path.
+        utilization = np.maximum(
+            _MIN_UTILIZATION,
+            np.minimum(1.0, occs / _BANDWIDTH_SATURATION_OCCUPANCY))
+        mem_t = (bytes_read + bytes_written) \
+            / (spec.dram_bandwidth * utilization)
+        coverage = np.maximum(_MIN_UTILIZATION, sm_effs)
+        issue = np.maximum(_MIN_UTILIZATION, np.minimum(1.0, occs / 0.25))
+        comp_t = fp / (spec.fp32_throughput * coverage * issue)
+        wave_floor = np.ceil(grid / waves) * _WAVE_LATENCY
+        times = np.maximum(np.maximum(mem_t, comp_t), wave_floor) \
+            + _KERNEL_RAMP
+
+        tx = spec.dram_transaction_bytes
+        priced = []
+        for k, inputs in enumerate(unique):
+            time = float(times[k])
+            if inputs.num_global_barriers:
+                time += inputs.num_global_barriers * global_barrier_latency(
+                    spec, inputs.grid_size)
+            if inputs.num_atomic_rounds:
+                time += inputs.num_atomic_rounds * spec.atomic_latency
+            priced.append(PerfCounters(
+                dram_read_transactions=math.ceil(inputs.bytes_read / tx),
+                dram_write_transactions=math.ceil(
+                    inputs.bytes_written / tx),
+                inst_fp_32=int(round(inputs.fp_instructions)),
+                achieved_occupancy=float(occs[k]),
+                sm_efficiency=float(sm_effs[k]),
+                duration=time,
+            ))
+        return priced
 
     def explain(self, inputs: KernelCostInputs) -> dict[str, float | str]:
         """Break one kernel's price into its components.
@@ -180,3 +299,18 @@ class KernelCostModel:
         comp_t = flops / (self.spec.fp32_throughput * 0.7)
         mem_t = bytes_moved / (self.spec.dram_bandwidth * 0.7)
         return max(comp_t, mem_t) + _KERNEL_RAMP
+
+
+# One shared model per spec: Ansor's tuning probes, the CLI's top-kernel
+# report and every Engine instance all price through the same memo, so a
+# kernel configuration is priced once per process, not once per caller.
+_SHARED_MODELS: dict[GPUSpec, KernelCostModel] = {}
+
+
+def cost_model_for(spec: GPUSpec) -> KernelCostModel:
+    """The process-wide shared :class:`KernelCostModel` for ``spec``."""
+    model = _SHARED_MODELS.get(spec)
+    if model is None:
+        model = KernelCostModel(spec)
+        _SHARED_MODELS[spec] = model
+    return model

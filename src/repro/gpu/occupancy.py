@@ -8,9 +8,17 @@ shared-memory limits, and one *wave* is that residency times the SM count.
 from __future__ import annotations
 
 import dataclasses
+import functools
 import math
 
 from repro.gpu.spec import GPUSpec
+
+# Distinct (spec, launch config) pairs are few — a handful of specs times
+# the block sizes the mapping strategies emit — so a bounded memo turns
+# every repeated lookup into a dict hit.  GPUSpec is a frozen dataclass,
+# hence hashable by value: two equal specs share entries, a spec with any
+# field changed cannot alias.
+_CACHE_SIZE = 4096
 
 
 @dataclasses.dataclass(frozen=True)
@@ -34,7 +42,7 @@ class OccupancyResult:
 
 def occupancy(spec: GPUSpec, block_size: int, regs_per_thread: int = 32,
               smem_per_block: int = 0) -> OccupancyResult:
-    """Compute residency for a launch configuration.
+    """Compute residency for a launch configuration (memoized).
 
     Args:
         spec: Target device.
@@ -46,6 +54,13 @@ def occupancy(spec: GPUSpec, block_size: int, regs_per_thread: int = 32,
         ValueError: If the configuration can never be resident (block too
             large, or per-block shared memory above the hardware limit).
     """
+    return _occupancy_cached(spec, block_size, regs_per_thread,
+                             smem_per_block)
+
+
+@functools.lru_cache(maxsize=_CACHE_SIZE)
+def _occupancy_cached(spec: GPUSpec, block_size: int, regs_per_thread: int,
+                      smem_per_block: int) -> OccupancyResult:
     if not 1 <= block_size <= spec.max_threads_per_block:
         raise ValueError(f"block size {block_size} outside "
                          f"[1, {spec.max_threads_per_block}]")

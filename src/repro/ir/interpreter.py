@@ -8,12 +8,19 @@ Compute-intensive dividers (dot / batch-matmul) use real NumPy matmul;
 convolution and RNN cells use deterministic dense surrogates, which is fine
 because all compilers dispatch them to the same "vendor library" routine and
 never fuse into them.
+
+Graphs are interpreted through a precompiled :class:`GraphProgram`: the
+topological order, parameter dtype/shape checks, operand slots, broadcast
+dimensions, reduce axes and constant values are all resolved once per
+graph, so a repeated :meth:`Interpreter.run` is a flat loop over bound
+NumPy closures with no per-call graph traversal.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Mapping, Optional
+import weakref
+from typing import Callable, Mapping, Optional
 
 import numpy as np
 
@@ -82,54 +89,50 @@ def library_call(node: Node, inputs: list[np.ndarray]) -> np.ndarray:
     raise ValueError(f"{node.kind} is not a library op")
 
 
+def _gelu(x: np.ndarray) -> np.ndarray:
+    return 0.5 * x * (1.0 + np.tanh(
+        math.sqrt(2.0 / math.pi) * (x + 0.044715 * x ** 3)))
+
+
+# Ops whose evaluation depends only on operand values — one bound NumPy
+# expression per kind, shared by the per-call path (:func:`evaluate_node`)
+# and the precompiled path (:func:`compile_node`) so they cannot drift.
+_SIMPLE_FNS: dict[OpKind, Callable[[list[np.ndarray]], np.ndarray]] = {
+    OpKind.ADD: lambda inputs: inputs[0] + inputs[1],
+    OpKind.SUBTRACT: lambda inputs: inputs[0] - inputs[1],
+    OpKind.MULTIPLY: lambda inputs: inputs[0] * inputs[1],
+    OpKind.DIVIDE: lambda inputs: inputs[0] / inputs[1],
+    OpKind.MAXIMUM: lambda inputs: np.maximum(inputs[0], inputs[1]),
+    OpKind.MINIMUM: lambda inputs: np.minimum(inputs[0], inputs[1]),
+    # Clamp the base away from zero so gradients of |x|^y stay finite.
+    OpKind.POWER: lambda inputs: np.power(np.abs(inputs[0]) + 1e-6,
+                                          inputs[1]),
+    OpKind.COMPARE_GT: lambda inputs: (inputs[0] > inputs[1]).astype(
+        inputs[0].dtype),
+    OpKind.SELECT: lambda inputs: np.where(inputs[0] != 0, inputs[1],
+                                           inputs[2]),
+    OpKind.NEGATE: lambda inputs: -inputs[0],
+    OpKind.ABS: lambda inputs: np.abs(inputs[0]),
+    OpKind.RELU: lambda inputs: np.maximum(inputs[0], 0),
+    OpKind.EXP: lambda inputs: np.exp(inputs[0]),
+    OpKind.LOG: lambda inputs: np.log(np.abs(inputs[0]) + 1e-6),
+    OpKind.TANH: lambda inputs: np.tanh(inputs[0]),
+    OpKind.SQRT: lambda inputs: np.sqrt(np.abs(inputs[0])),
+    OpKind.RSQRT: lambda inputs: 1.0 / np.sqrt(np.abs(inputs[0]) + 1e-6),
+    OpKind.SIGMOID: lambda inputs: 1.0 / (1.0 + np.exp(-inputs[0])),
+    OpKind.ERF: lambda inputs: _erf(inputs[0]),
+    OpKind.GELU: lambda inputs: _gelu(inputs[0]),
+}
+
+
 def evaluate_node(node: Node, inputs: list[np.ndarray]) -> np.ndarray:
     """Evaluate one node given its already-computed operand values."""
     kind = node.kind
     if kind is OpKind.CONSTANT:
         return constant_value(node)
-    if kind is OpKind.ADD:
-        return inputs[0] + inputs[1]
-    if kind is OpKind.SUBTRACT:
-        return inputs[0] - inputs[1]
-    if kind is OpKind.MULTIPLY:
-        return inputs[0] * inputs[1]
-    if kind is OpKind.DIVIDE:
-        return inputs[0] / inputs[1]
-    if kind is OpKind.MAXIMUM:
-        return np.maximum(inputs[0], inputs[1])
-    if kind is OpKind.MINIMUM:
-        return np.minimum(inputs[0], inputs[1])
-    if kind is OpKind.POWER:
-        # Clamp the base away from zero so gradients of |x|^y stay finite.
-        return np.power(np.abs(inputs[0]) + 1e-6, inputs[1])
-    if kind is OpKind.COMPARE_GT:
-        return (inputs[0] > inputs[1]).astype(inputs[0].dtype)
-    if kind is OpKind.SELECT:
-        return np.where(inputs[0] != 0, inputs[1], inputs[2])
-    if kind is OpKind.NEGATE:
-        return -inputs[0]
-    if kind is OpKind.ABS:
-        return np.abs(inputs[0])
-    if kind is OpKind.RELU:
-        return np.maximum(inputs[0], 0)
-    if kind is OpKind.EXP:
-        return np.exp(inputs[0])
-    if kind is OpKind.LOG:
-        return np.log(np.abs(inputs[0]) + 1e-6)
-    if kind is OpKind.TANH:
-        return np.tanh(inputs[0])
-    if kind is OpKind.SQRT:
-        return np.sqrt(np.abs(inputs[0]))
-    if kind is OpKind.RSQRT:
-        return 1.0 / np.sqrt(np.abs(inputs[0]) + 1e-6)
-    if kind is OpKind.SIGMOID:
-        return 1.0 / (1.0 + np.exp(-inputs[0]))
-    if kind is OpKind.ERF:
-        return _erf(inputs[0])
-    if kind is OpKind.GELU:
-        x = inputs[0]
-        return 0.5 * x * (1.0 + np.tanh(
-            math.sqrt(2.0 / math.pi) * (x + 0.044715 * x ** 3)))
+    fn = _SIMPLE_FNS.get(kind)
+    if fn is not None:
+        return fn(inputs)
     if kind is OpKind.BROADCAST:
         return apply_broadcast(inputs[0], node.shape.dims,
                                node.broadcast_dims)
@@ -144,11 +147,121 @@ def evaluate_node(node: Node, inputs: list[np.ndarray]) -> np.ndarray:
     raise ValueError(f"cannot evaluate {kind}")
 
 
+def compile_node(node: Node) -> Callable[[list[np.ndarray]], np.ndarray]:
+    """Bind ``node``'s evaluation into a closure over its attributes.
+
+    Shape dims, broadcast dimensions, permutations, reduce axes and
+    constant values are resolved now, once; the returned callable only
+    touches the operand values.  Numerics are those of
+    :func:`evaluate_node` exactly — simple ops share its function table.
+
+    Raises:
+        ValueError: If the node kind cannot be evaluated.
+    """
+    kind = node.kind
+    if kind is OpKind.CONSTANT:
+        value = constant_value(node)
+        return lambda inputs: value
+    fn = _SIMPLE_FNS.get(kind)
+    if fn is not None:
+        return fn
+    if kind is OpKind.BROADCAST:
+        out_dims = node.shape.dims
+        broadcast_dims = node.broadcast_dims
+        return lambda inputs: apply_broadcast(inputs[0], out_dims,
+                                              broadcast_dims)
+    if kind is OpKind.RESHAPE:
+        dims = node.shape.dims
+        return lambda inputs: inputs[0].reshape(dims)
+    if kind is OpKind.TRANSPOSE:
+        permutation = node.attrs["permutation"]
+        return lambda inputs: inputs[0].transpose(permutation)
+    if kind is OpKind.REDUCE:
+        axes = tuple(node.reduce_axes)
+        reduce_kind = node.reduce_kind
+        return lambda inputs: _reduce(inputs[0], axes, reduce_kind)
+    if node.is_compute_intensive():
+        return lambda inputs: library_call(node, inputs)
+    raise ValueError(f"cannot evaluate {kind}")
+
+
+class GraphProgram:
+    """A graph precompiled for repeated interpretation.
+
+    Built once per graph: the topological order is walked a single time,
+    every node gets an integer value slot and a bound closure
+    (:func:`compile_node`), and parameter dtype/shape requirements are
+    captured up front.  :meth:`run` is then a flat loop — no graph
+    traversal, no operand dict lookups, no attribute resolution.
+    """
+
+    __slots__ = ("graph", "_params", "_ops", "_outputs", "_num_slots")
+
+    def __init__(self, graph: Graph):
+        self.graph = graph
+        order = graph.topological_order()
+        slot_of = {node: slot for slot, node in enumerate(order)}
+        self._num_slots = len(order)
+        self._params: list[tuple[int, str, np.dtype, tuple[int, ...]]] = []
+        self._ops: list[tuple[int, tuple[int, ...],
+                              Callable[[list[np.ndarray]], np.ndarray],
+                              np.dtype]] = []
+        for node in order:
+            if node.kind is OpKind.PARAMETER:
+                self._params.append((slot_of[node], node.name,
+                                     node.dtype.to_numpy(),
+                                     node.shape.dims))
+            else:
+                self._ops.append((
+                    slot_of[node],
+                    tuple(slot_of[op] for op in node.operands),
+                    compile_node(node),
+                    node.dtype.to_numpy(),
+                ))
+        self._outputs = tuple((out.name, slot_of[out])
+                              for out in graph.outputs)
+
+    def run(self, feeds: Mapping[str, np.ndarray],
+            ) -> dict[str, np.ndarray]:
+        """Evaluate the graph (same contract as :meth:`Interpreter.run`)."""
+        values: list[Optional[np.ndarray]] = [None] * self._num_slots
+        for slot, name, dtype, dims in self._params:
+            if name not in feeds:
+                raise KeyError(f"missing feed for parameter {name}")
+            arr = np.asarray(feeds[name], dtype=dtype)
+            if arr.shape != dims:
+                raise ValueError(
+                    f"feed for {name} has shape {arr.shape}, "
+                    f"expected {dims}")
+            values[slot] = arr
+        for slot, operand_slots, fn, dtype in self._ops:
+            result = fn([values[i] for i in operand_slots])
+            values[slot] = np.asarray(result, dtype=dtype)
+        return {name: values[slot] for name, slot in self._outputs}
+
+
+# Programs are pure derivations of a (built, immutable) graph, so one per
+# graph object serves every Interpreter/evaluate call in the process —
+# same lifetime assumption as the fingerprint memo in repro.ir.fingerprint.
+_PROGRAMS: "weakref.WeakKeyDictionary[Graph, GraphProgram]" \
+    = weakref.WeakKeyDictionary()
+
+
+def graph_program(graph: Graph) -> GraphProgram:
+    """The memoized :class:`GraphProgram` for ``graph``."""
+    program = _PROGRAMS.get(graph)
+    if program is None:
+        program = GraphProgram(graph)
+        _PROGRAMS[graph] = program
+    return program
+
+
 class Interpreter:
     """Evaluates a whole graph in topological order."""
 
     def __init__(self, graph: Graph):
         self.graph = graph
+        self._program: Optional[GraphProgram] = None
 
     def run(self, feeds: Mapping[str, np.ndarray],
             ) -> dict[str, np.ndarray]:
@@ -164,24 +277,9 @@ class Interpreter:
         Raises:
             KeyError: If a parameter has no feed.
         """
-        values: dict[Node, np.ndarray] = {}
-        for node in self.graph.topological_order():
-            if node.kind is OpKind.PARAMETER:
-                if node.name not in feeds:
-                    raise KeyError(f"missing feed for parameter {node.name}")
-                arr = np.asarray(feeds[node.name],
-                                 dtype=node.dtype.to_numpy())
-                if arr.shape != node.shape.dims:
-                    raise ValueError(
-                        f"feed for {node.name} has shape {arr.shape}, "
-                        f"expected {node.shape.dims}")
-                values[node] = arr
-            else:
-                inputs = [values[op] for op in node.operands]
-                result = evaluate_node(node, inputs)
-                values[node] = np.asarray(result,
-                                          dtype=node.dtype.to_numpy())
-        return {out.name: values[out] for out in self.graph.outputs}
+        if self._program is None:
+            self._program = graph_program(self.graph)
+        return self._program.run(feeds)
 
 
 def evaluate(graph: Graph, feeds: Mapping[str, np.ndarray],

@@ -6,8 +6,18 @@ split into MEM (memory-intensive kernels), compute (library calls) and
 OVERHEAD (launches, framework scheduling, memcpy) — the Fig 13 breakdown.
 """
 
-from repro.runtime.engine import Engine, Profile, StepProfile
+from repro.runtime.engine import Engine, EngineConfig, Profile, StepProfile
 from repro.runtime.amp import convert_to_amp
+from repro.runtime.plan import (
+    ExecutionPlan,
+    PlanCache,
+    PlanCacheStats,
+    PlanKey,
+    default_plan_cache,
+    module_pricing_signature,
+    plan_key,
+    set_default_plan_cache,
+)
 from repro.runtime.compile_cache import (
     CacheKey,
     CacheStats,
@@ -28,7 +38,11 @@ from repro.runtime.trace import profile_to_chrome_trace, write_chrome_trace
 from repro.runtime.timeline import TimelineResult, schedule as schedule_streams
 from repro.runtime.session import Session
 
-__all__ = ["Engine", "Profile", "StepProfile", "convert_to_amp",
+__all__ = ["Engine", "EngineConfig", "Profile", "StepProfile",
+           "convert_to_amp",
+           "ExecutionPlan", "PlanCache", "PlanCacheStats", "PlanKey",
+           "default_plan_cache", "module_pricing_signature", "plan_key",
+           "set_default_plan_cache",
            "CacheKey", "CacheStats", "CompileCache",
            "compiler_fingerprint", "default_cache", "set_default_cache",
            "CompileService", "ServiceStats", "WarmupReport",

@@ -1,0 +1,371 @@
+"""Execution plans and the plan cache.
+
+A module's priced timeline is a pure function of three things: the
+module's pricing-relevant content (its steps' launch configurations,
+traffic and instruction counts), the device spec, and the engine
+configuration.  This module makes that purity pay: the
+:class:`~repro.runtime.engine.Engine` prices a module once into an
+immutable :class:`ExecutionPlan` and every later request — from any
+engine, session, serving oracle or figure harness in the process — is a
+cache hit that replays the stored per-step timeline.  The serving
+capacity search, which runs dozens of load tests over the same
+(workload, bucket, spec) modules, goes from O(requests x steps) pricing
+work to O(unique modules).
+
+The cache key never trusts object identity:
+
+* the **module signature** digests every step's cost-model inputs
+  (:func:`~repro.codegen.builder.kernel_cost_inputs` per kernel,
+  flops/bytes per library call, bytes per memcpy) plus the execution
+  mode, so two structurally identical modules share one plan and any
+  pricing-relevant difference cannot alias;
+* the **spec** and **engine config** participate as full frozen
+  dataclass values — changing a single ``GPUSpec`` field or overriding
+  ``COMPILED_DISPATCH_LATENCY`` is a guaranteed miss.
+
+Two tiers, riding the same machinery as the compile cache of
+:mod:`repro.runtime.compile_cache`: a bounded in-memory LRU with
+hit/miss/eviction counters, and — when ``REPRO_COMPILE_CACHE_DIR`` is
+set — pickled plans next to the persisted compiled modules, so a warm
+process leaves behind both the artifact and its price.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import hashlib
+import os
+import pathlib
+import pickle
+import threading
+from typing import Optional
+
+from repro.codegen.builder import kernel_cost_inputs
+from repro.codegen.kernel import Kernel, LibraryCall, MemcpyCall
+from repro.compilers.base import CompiledModule
+from repro.gpu.counters import PerfCounters, aggregate
+from repro.gpu.spec import GPUSpec
+from repro.ir.fingerprint import graph_fingerprint
+from repro.runtime.engine import EngineConfig, Profile, StepProfile
+from repro.runtime.compile_cache import CACHE_DIR_ENV
+
+# Bump on any change to the plan payload, the signature encoding or the
+# key composition; invalidates every persisted plan at once.
+PLAN_FORMAT_VERSION = 1
+
+# In-memory entry bound: a plan is a few KB of floats per step; even the
+# 8k-step Transformer plans keep hundreds of entries comfortable.
+DEFAULT_CAPACITY = 512
+
+
+@dataclasses.dataclass(frozen=True)
+class ExecutionPlan:
+    """The immutable priced timeline of one module iteration.
+
+    Replay is a cheap array walk: the per-step profiles and the
+    category totals are computed once at build time; :meth:`profile`
+    just wraps the stored steps in a fresh :class:`Profile`.
+
+    Attributes:
+        module_name: Compiler name that produced the module.
+        graph_name: Source graph's display name.
+        steps: Per-step timing records, in execution order.
+        mem_time: Total memory-intensive kernel seconds.
+        compute_time: Total library-call seconds.
+        overhead_time: Total non-computation seconds.
+        mem_kernel_count: Memory-intensive kernels in the timeline.
+        compute_kernel_count: Library calls in the timeline.
+        memcpy_count: Memcpy/memset activities in the timeline.
+    """
+
+    module_name: str
+    graph_name: str
+    steps: tuple[StepProfile, ...]
+    mem_time: float
+    compute_time: float
+    overhead_time: float
+    mem_kernel_count: int
+    compute_kernel_count: int
+    memcpy_count: int
+
+    @classmethod
+    def from_steps(cls, module_name: str, graph_name: str,
+                   steps: tuple[StepProfile, ...]) -> "ExecutionPlan":
+        """Build a plan, totalling the steps exactly like ``Profile``
+        does (same iteration order, same float addition sequence)."""
+        return cls(
+            module_name=module_name,
+            graph_name=graph_name,
+            steps=steps,
+            mem_time=sum(s.duration for s in steps
+                         if s.category == "mem"),
+            compute_time=sum(s.duration for s in steps
+                             if s.category == "compute"),
+            overhead_time=sum(s.overhead for s in steps),
+            mem_kernel_count=sum(1 for s in steps
+                                 if s.category == "mem"),
+            compute_kernel_count=sum(1 for s in steps
+                                     if s.category == "compute"),
+            memcpy_count=sum(1 for s in steps
+                             if s.category == "memcpy"),
+        )
+
+    @property
+    def total_time(self) -> float:
+        """One iteration's seconds (MEM + compute + OVERHEAD)."""
+        return self.mem_time + self.compute_time + self.overhead_time
+
+    def profile(self) -> Profile:
+        """Replay the plan as a :class:`Profile` (cheap; shares the
+        immutable step records)."""
+        return Profile(self.module_name, self.graph_name,
+                       list(self.steps))
+
+    def aggregate_mem_counters(self) -> PerfCounters:
+        return aggregate(s.counters for s in self.steps
+                         if s.category == "mem" and s.counters is not None)
+
+
+def module_pricing_signature(module: CompiledModule) -> str:
+    """Content digest of everything pricing reads from a module.
+
+    Covers the execution mode flags and, per step, the cost-model
+    inputs: a kernel's :class:`~repro.gpu.costmodel.KernelCostInputs`,
+    a library call's flops/bytes, a memcpy's size.  Memoized on the
+    module object (dropped on pickling) — the walk is O(steps) once.
+    """
+    cached = module.__dict__.get("_pricing_signature")
+    if cached is not None:
+        return cached
+    digest = hashlib.sha256()
+    digest.update(
+        f"plan-sig-v{PLAN_FORMAT_VERSION}|{module.compiler_name}"
+        f"|{module.framework_mode}|{module.graph_replay}".encode("utf-8"))
+    for step in module.steps:
+        if isinstance(step, Kernel):
+            entry = ("k", dataclasses.astuple(kernel_cost_inputs(step)))
+        elif isinstance(step, LibraryCall):
+            entry = ("l", step.flops(), step.bytes_moved())
+        elif isinstance(step, MemcpyCall):
+            entry = ("m", step.nbytes)
+        else:  # priced by Engine.price_step, which will reject it
+            entry = ("?", type(step).__name__)
+        digest.update(repr(entry).encode("utf-8"))
+    signature = digest.hexdigest()
+    module.__dict__["_pricing_signature"] = signature
+    return signature
+
+
+@dataclasses.dataclass(frozen=True)
+class PlanKey:
+    """Full address of one execution plan.
+
+    Attributes:
+        module: Module pricing signature
+            (:func:`module_pricing_signature`).
+        graph: Structural graph fingerprint (cheap insurance on top of
+            the signature; memoized per graph).
+        spec: Device spec, by value — any field change is a miss.
+        config: Engine configuration, by value.
+    """
+
+    module: str
+    graph: str
+    spec: GPUSpec
+    config: EngineConfig
+
+    def digest(self) -> str:
+        """Stable hex digest — the persistent tier's file name."""
+        text = "|".join([
+            f"plan-v{PLAN_FORMAT_VERSION}", self.module, self.graph,
+            repr(dataclasses.astuple(self.spec)),
+            repr(dataclasses.astuple(self.config)),
+        ])
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def plan_key(module: CompiledModule, spec: GPUSpec,
+             config: EngineConfig) -> PlanKey:
+    """The cache key pricing ``module`` on ``spec`` under ``config``."""
+    return PlanKey(module=module_pricing_signature(module),
+                   graph=graph_fingerprint(module.graph),
+                   spec=spec, config=config)
+
+
+@dataclasses.dataclass
+class PlanCacheStats:
+    """Plan-cache behaviour counters.
+
+    Attributes:
+        hits: Requests served from the in-memory tier.
+        disk_hits: Requests served from the persistent tier (and
+            promoted into memory).
+        misses: Requests neither tier could serve.
+        evictions: Entries dropped from memory by the LRU bound.
+        disk_stores: Plans written to the persistent tier.
+    """
+
+    hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    disk_stores: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.disk_hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        if not self.requests:
+            return 0.0
+        return (self.hits + self.disk_hits) / self.requests
+
+
+class PlanCache:
+    """Two-tier (memory LRU + optional disk) store of execution plans.
+
+    Thread-safe: serving workers and session threads share the
+    process-wide instance.
+
+    Args:
+        capacity: In-memory entry bound; least recently used past it.
+        cache_dir: Directory for the persistent tier (shared with the
+            compile cache — plans are stored as ``plan_<digest>.pkl``);
+            ``None`` keeps the cache memory-only.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY,
+                 cache_dir: Optional[str | os.PathLike] = None):
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.cache_dir = (pathlib.Path(cache_dir)
+                          if cache_dir is not None else None)
+        self.stats = PlanCacheStats()
+        self._entries: "collections.OrderedDict[PlanKey, ExecutionPlan]" \
+            = collections.OrderedDict()
+        self._lock = threading.RLock()
+
+    @classmethod
+    def from_env(cls, capacity: int = DEFAULT_CAPACITY) -> "PlanCache":
+        """A cache whose persistent tier rides the compile cache's
+        directory: set ``REPRO_COMPILE_CACHE_DIR`` to enable it."""
+        return cls(capacity=capacity,
+                   cache_dir=os.environ.get(CACHE_DIR_ENV) or None)
+
+    # -- lookup / store -----------------------------------------------------
+
+    def get(self, key: PlanKey) -> Optional[ExecutionPlan]:
+        """The cached plan for ``key``, or None (counts a miss)."""
+        with self._lock:
+            plan = self._entries.get(key)
+            if plan is not None:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return plan
+            plan = self._disk_load(key)
+            if plan is not None:
+                self.stats.disk_hits += 1
+                self._insert(key, plan)
+                return plan
+            self.stats.misses += 1
+            return None
+
+    def put(self, key: PlanKey, plan: ExecutionPlan) -> None:
+        """Store ``plan`` in both tiers (disk only when configured)."""
+        with self._lock:
+            self._insert(key, plan)
+            self._disk_store(key, plan)
+
+    def _insert(self, key: PlanKey, plan: ExecutionPlan) -> None:
+        self._entries[key] = plan
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        """Drop the in-memory tier (the persistent tier is untouched)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: PlanKey) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    # -- persistent tier ----------------------------------------------------
+
+    def _path(self, key: PlanKey) -> Optional[pathlib.Path]:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / f"plan_{key.digest()}.pkl"
+
+    def _disk_load(self, key: PlanKey) -> Optional[ExecutionPlan]:
+        path = self._path(key)
+        if path is None:
+            return None
+        try:
+            payload = pickle.loads(path.read_bytes())
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError, ValueError):
+            return None
+        if (not isinstance(payload, dict)
+                or payload.get("version") != PLAN_FORMAT_VERSION
+                or payload.get("key") != key):
+            return None
+        plan = payload.get("plan")
+        return plan if isinstance(plan, ExecutionPlan) else None
+
+    def _disk_store(self, key: PlanKey, plan: ExecutionPlan) -> None:
+        path = self._path(key)
+        if path is None:
+            return
+        payload = {"version": PLAN_FORMAT_VERSION, "key": key,
+                   "plan": plan}
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            blob = pickle.dumps(payload,
+                                protocol=pickle.HIGHEST_PROTOCOL)
+            tmp = path.with_suffix(f".tmp.{os.getpid()}")
+            tmp.write_bytes(blob)
+            tmp.replace(path)
+        except OSError:
+            return  # a read-only cache dir degrades to memory-only
+        self.stats.disk_stores += 1
+
+    def __repr__(self) -> str:
+        tier = str(self.cache_dir) if self.cache_dir else "memory-only"
+        return (f"PlanCache(entries={len(self)}/{self.capacity}, "
+                f"dir={tier}, hits={self.stats.hits}, "
+                f"disk_hits={self.stats.disk_hits}, "
+                f"misses={self.stats.misses})")
+
+
+# -- process-wide default -----------------------------------------------------
+
+_default_plan_cache: Optional[PlanCache] = None
+_default_lock = threading.Lock()
+
+
+def default_plan_cache() -> PlanCache:
+    """The process-wide plan cache every engine shares by default
+    (created lazily; honours ``REPRO_COMPILE_CACHE_DIR``)."""
+    global _default_plan_cache
+    with _default_lock:
+        if _default_plan_cache is None:
+            _default_plan_cache = PlanCache.from_env()
+        return _default_plan_cache
+
+
+def set_default_plan_cache(cache: Optional[PlanCache]) -> None:
+    """Replace the process-wide plan cache (``None`` resets to lazy
+    re-creation — used by tests and benches to isolate themselves)."""
+    global _default_plan_cache
+    with _default_lock:
+        _default_plan_cache = cache

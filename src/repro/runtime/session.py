@@ -110,8 +110,18 @@ class Session:
             renamed[original.name] = raw[compiled.name]
         return renamed
 
+    def plan(self, graph: Graph):
+        """The cached execution plan of one iteration of ``graph``.
+
+        Compiles on first use, then resolves through the engine's
+        :class:`~repro.runtime.plan.PlanCache` — the same plan object is
+        shared with every other session pricing the same (module, spec,
+        config)."""
+        return self.engine.plan(self.module(graph))
+
     def profile(self, graph: Graph) -> Profile:
-        """The priced profile of one iteration of ``graph``."""
+        """The priced profile of one iteration of ``graph`` (replayed
+        from the cached execution plan)."""
         key = graph_fingerprint(graph)
         with self._lock:
             cached = self._profiles.get(key)

@@ -31,20 +31,45 @@ from repro.serving.batcher import Batch
 class ServiceTimeOracle:
     """Priced execution seconds per (workload, bucket, device, compiler).
 
+    Pricing rides the execution-plan layer: a fresh oracle asking for a
+    (workload, bucket, device) another oracle already priced — a later
+    load test, a capacity search probe — hits the shared
+    :class:`~repro.runtime.plan.PlanCache` instead of re-walking the
+    cost model.
+
     Args:
         compiler: Compilation strategy the fleet runs.
         service: Compile service to route through; defaults to the
             process-wide shared one.
+        use_plans: Route pricing through cached execution plans.  Pass
+            False to re-price every first lookup through the scalar
+            slow path (the determinism guard's reference).
+        plan_cache: Plan cache the oracle's engines share; defaults to
+            the process-wide one.  Ignored when ``use_plans`` is False.
     """
 
-    def __init__(self, compiler: Compiler, service=None):
+    def __init__(self, compiler: Compiler, service=None,
+                 use_plans: bool = True, plan_cache=None):
         if service is None:
             from repro.runtime.compile_service import default_service
             service = default_service()
         self.compiler = compiler
         self.service = service
+        self.use_plans = use_plans
+        if plan_cache is None and use_plans:
+            from repro.runtime.plan import default_plan_cache
+            plan_cache = default_plan_cache()
+        self.plan_cache = plan_cache
         self._times: dict[tuple[str, int, str], float] = {}
         self._engines: dict[str, Engine] = {}
+
+    def _engine(self, spec: GPUSpec) -> Engine:
+        engine = self._engines.get(spec.name)
+        if engine is None:
+            cache = self.plan_cache if self.use_plans else None
+            engine = Engine(spec, plan_cache=cache)
+            self._engines[spec.name] = engine
+        return engine
 
     def service_time(self, workload: str, bucket: int,
                      spec: GPUSpec) -> float:
@@ -52,11 +77,14 @@ class ServiceTimeOracle:
         key = (workload, bucket, spec.name)
         cached = self._times.get(key)
         if cached is None:
-            from repro.workloads import build
-            graph = build(workload, batch=bucket)
+            from repro.workloads import build_cached
+            graph = build_cached(workload, batch=bucket)
             module = self.service.compile(graph, self.compiler, spec)
-            engine = self._engines.setdefault(spec.name, Engine(spec))
-            cached = engine.run(module).total_time
+            engine = self._engine(spec)
+            if self.use_plans:
+                cached = engine.plan(module).total_time
+            else:
+                cached = engine.price_profile(module).total_time
             self._times[key] = cached
         return cached
 

@@ -12,6 +12,7 @@ from repro.workloads.registry import (
     inference_workloads,
     training_workloads,
     build,
+    build_cached,
 )
 from repro.workloads import micro
 
@@ -21,5 +22,6 @@ __all__ = [
     "inference_workloads",
     "training_workloads",
     "build",
+    "build_cached",
     "micro",
 ]

@@ -14,6 +14,7 @@ DIEN           Recommendation  256                256
 from __future__ import annotations
 
 import dataclasses
+import threading
 from typing import Callable, Optional
 
 from repro.ir.graph import Graph
@@ -126,3 +127,32 @@ def build(name: str, training: bool = False,
             raise ValueError(f"{name} is evaluated for inference only")
         return spec.training()
     return spec.inference()
+
+
+# Built graphs by (name, training, batch).  Registry builds are pure and
+# graphs are immutable once built, so one object can serve every caller;
+# reusing the *object* (not just the structure) also keeps every
+# per-graph memo hot — fingerprints, interpreter programs, plan keys.
+_BUILD_CACHE: dict[tuple[str, bool, Optional[int]], Graph] = {}
+_BUILD_LOCK = threading.Lock()
+
+
+def build_cached(name: str, training: bool = False,
+                 batch: Optional[int] = None) -> Graph:
+    """Like :func:`build`, but memoized process-wide.
+
+    The serving hot path uses this: a fresh
+    :class:`~repro.serving.worker.ServiceTimeOracle` pricing a
+    (workload, bucket) another oracle already priced must not pay graph
+    construction — or re-canonicalization for the compile-cache key —
+    a second time.  Callers must treat the returned graph as shared and
+    immutable; use :func:`build` for a private copy.
+    """
+    key = (name, training, batch)
+    with _BUILD_LOCK:
+        graph = _BUILD_CACHE.get(key)
+    if graph is None:
+        graph = build(name, training=training, batch=batch)
+        with _BUILD_LOCK:
+            graph = _BUILD_CACHE.setdefault(key, graph)
+    return graph
