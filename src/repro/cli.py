@@ -401,6 +401,120 @@ def cmd_bench(args) -> int:
     return 1 if failures else 0
 
 
+def cmd_tune(args) -> int:
+    """Autotune one graph's stitched groups and report the decisions.
+
+    Shows, per schedule group, the candidate count and the heuristic vs
+    tuned launch configuration with their modeled kernel times, then the
+    module-level heuristic vs tuned comparison through the engine.
+    Exits non-zero if the tuned module prices worse than the heuristic
+    one (the never-worse guarantee).
+    """
+    from repro.core.config import AStitchConfig
+    from repro.core.dominants import analyze_scope
+    from repro.core.scope import identify_stitch_scopes
+    from repro.tuning import GroupTuner
+
+    spec = DEVICES[args.device]
+    engine = Engine(spec)
+    config = AStitchConfig.full()
+    tuner = GroupTuner(spec, service=default_service())
+    failures = []
+    for graph_name in args.graphs:
+        graph = _build_graph(graph_name, args.train)
+        rows = []
+        candidates_total = 0
+        for scope in identify_stitch_scopes(
+                graph, remote_stitching=config.remote_stitching):
+            analysis = analyze_scope(graph, scope.nodes)
+            needs_barrier = (analysis.stages > 1
+                             and config.enable_global_scheme)
+            decisions = tuner.tune_groups(
+                analysis.groups, needs_barrier, config.max_block_size,
+                config_tag=config.tuning_tag())
+            for group in analysis.groups:
+                decision = decisions[group.group_id]
+                candidates_total += decision.num_candidates
+                rows.append([
+                    f"s{scope.scope_id}/g{group.group_id}",
+                    group.dominant.name,
+                    decision.num_candidates,
+                    decision.heuristic_mapping.describe(),
+                    decision.mapping.describe(),
+                    f"{decision.heuristic_time*1e6:.2f}",
+                    f"{decision.tuned_time*1e6:.2f}",
+                    f"{decision.improvement*100:.1f}%",
+                ])
+        print(render_table(
+            ["group", "dominant", "cands", "heuristic mapping",
+             "tuned mapping", "heur (us)", "tuned (us)", "gain"],
+            rows, title=f"{graph_name} tuning decisions on {args.device} "
+                        f"({candidates_total} candidates priced)"))
+
+        tuned = AStitchCompiler(config).compile(graph, spec)
+        heuristic = AStitchCompiler(
+            AStitchConfig.heuristic_mappings()).compile(graph, spec)
+        tuned_time = engine.run(tuned).total_time
+        heuristic_time = engine.run(heuristic).total_time
+        print(render_table(
+            ["module", "total (ms)"],
+            [["AStitch-heuristic", f"{heuristic_time*1e3:.3f}"],
+             ["AStitch (tuned)", f"{tuned_time*1e3:.3f}"],
+             ["speedup", f"{heuristic_time/tuned_time:.3f}x"]],
+            title=f"{graph_name} module totals"))
+        print()
+        if tuned_time > heuristic_time * (1 + 1e-9):
+            failures.append(graph_name)
+    for name in failures:
+        print(f"FAIL: tuned {name} prices worse than the heuristic")
+    return 1 if failures else 0
+
+
+def cmd_cache_stats(_args) -> int:
+    """Show hit/miss/eviction counters for all three cache tiers.
+
+    Covers the compile cache (modules), the plan cache (priced
+    timelines) and the tuning cache (launch decisions) — plus, when a
+    persistent directory is configured, the entry counts per tier on
+    disk.
+    """
+    from repro.runtime.compile_cache import default_cache
+    from repro.runtime.plan import default_plan_cache
+    from repro.tuning import default_tuning_cache
+
+    tiers = {
+        "compile": default_cache(),
+        "plan": default_plan_cache(),
+        "tuning": default_tuning_cache(),
+    }
+    rows = []
+    for name, cache in tiers.items():
+        stats = cache.stats
+        rows.append([
+            name, len(cache), stats.hits, stats.disk_hits, stats.misses,
+            stats.evictions, stats.disk_stores,
+            f"{stats.hit_rate*100:.1f}%",
+        ])
+    print(render_table(
+        ["tier", "entries", "hits", "disk hits", "misses", "evictions",
+         "disk stores", "hit rate"], rows,
+        title="cache statistics (this process)"))
+
+    cache_dir = tiers["compile"].cache_dir
+    if cache_dir is not None and cache_dir.is_dir():
+        plans = len(list(cache_dir.glob("plan_*.pkl")))
+        tuned = len(list(cache_dir.glob("tune_*.pkl")))
+        modules = len(list(cache_dir.glob("*.pkl"))) - plans - tuned
+        print(render_table(
+            ["tier", "files"],
+            [["compile", modules], ["plan", plans], ["tuning", tuned]],
+            title=f"persistent entries in {cache_dir}"))
+    else:
+        print("no persistent cache directory "
+              "(set REPRO_COMPILE_CACHE_DIR)")
+    return 0
+
+
 def make_parser() -> argparse.ArgumentParser:
     """Build the argument parser for all subcommands."""
     parser = argparse.ArgumentParser(
@@ -539,6 +653,22 @@ def make_parser() -> argparse.ArgumentParser:
                        help="benchmark record path (.txt twin beside it)")
     add_serving(bench)
     bench.set_defaults(func=cmd_bench, duration=21.0)
+
+    tune = sub.add_parser(
+        "tune",
+        help="autotune launch configs; report heuristic vs tuned")
+    tune.add_argument("graphs", nargs="+",
+                      help="workload or micro graph name(s)")
+    tune.add_argument("--device", choices=DEVICES, default="V100")
+    tune.add_argument("--train", action="store_true")
+    tune.set_defaults(func=cmd_tune)
+
+    cache = sub.add_parser("cache", help="cache inspection")
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_sub.add_parser(
+        "stats",
+        help="hit/miss counters for compile, plan and tuning tiers",
+    ).set_defaults(func=cmd_cache_stats)
     return parser
 
 

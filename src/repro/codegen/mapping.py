@@ -60,6 +60,14 @@ def naive_column_reduce(rows: int, row_width: int) -> ThreadMapping:
                          rows=rows, row_width=row_width)
 
 
+def _clamp_wave_limit(wave_limit: int | None) -> int | None:
+    """Degenerate per-wave caps (0 or negative) must still yield a legal
+    launch: treat them as a one-block wave instead of dividing by zero."""
+    if wave_limit is None:
+        return None
+    return max(1, wave_limit)
+
+
 def adaptive_elementwise(num_elements: int, spec: GPUSpec,
                          block_size: int = _MAX_BLOCK,
                          wave_limit: int | None = None) -> ThreadMapping:
@@ -72,11 +80,13 @@ def adaptive_elementwise(num_elements: int, spec: GPUSpec,
     first side of adaptive mapping.
     """
     num_elements = max(1, num_elements)
-    block_size = min(block_size, _MAX_BLOCK, spec.max_threads_per_block)
+    block_size = max(32, min(block_size, _MAX_BLOCK,
+                             spec.max_threads_per_block))
     if num_elements < spec.num_sms * block_size:
         per_sm = math.ceil(num_elements / spec.num_sms)
         block_size = max(32, min(block_size,
                                  _pow2_at_most(_round_up_warp(per_sm))))
+    wave_limit = _clamp_wave_limit(wave_limit)
     if wave_limit is None:
         wave_limit = spec.blocks_per_wave(block_size)
     raw_grid = math.ceil(num_elements / block_size)
@@ -99,6 +109,7 @@ def adaptive_row_reduce(rows: int, row_width: int, spec: GPUSpec,
     """
     rows = max(1, rows)
     row_width = max(1, row_width)
+    wave_limit = _clamp_wave_limit(wave_limit)
     if wave_limit is None:
         wave_limit = spec.blocks_per_wave(_MAX_BLOCK)
 
@@ -141,6 +152,7 @@ def adaptive_column_reduce(rows: int, row_width: int, spec: GPUSpec,
                            wave_limit: int | None = None) -> ThreadMapping:
     """Column-reduce capped to one wave; atomics combine partials."""
     elements = max(1, rows * row_width)
+    wave_limit = _clamp_wave_limit(wave_limit)
     if wave_limit is None:
         wave_limit = spec.blocks_per_wave(_MAX_BLOCK)
     raw_grid = math.ceil(elements / _MAX_BLOCK)
@@ -151,9 +163,15 @@ def adaptive_column_reduce(rows: int, row_width: int, spec: GPUSpec,
 
 def reduce_geometry(in_shape, axes: tuple[int, ...]) -> tuple[int, int]:
     """(rows, row_width) of a reduction: rows are outputs, width is the
-    reduction extent per output."""
+    reduction extent per output.
+
+    Degenerate tensors (a zero-length axis, a single element) clamp to a
+    ``(1, 1)`` floor so every mapping constructor downstream still emits
+    a legal, at-least-one-block launch.
+    """
     width = 1
     for axis in axes:
         width *= in_shape.dim(axis)
-    rows = max(1, in_shape.num_elements // max(1, width))
+    width = max(1, width)
+    rows = max(1, in_shape.num_elements // width)
     return rows, width

@@ -70,6 +70,18 @@ class ThreadMapping:
     def uses_atomics(self) -> bool:
         return self.blocks_per_row > 1
 
+    def sort_key(self) -> tuple:
+        """Total deterministic order over mappings.
+
+        The autotuner breaks cost ties with this key (smaller grid, then
+        larger block, then least decomposition), so repeated runs —
+        across processes and candidate enumeration orders — always pick
+        the identical winner.
+        """
+        return (self.grid_size, -self.block_size, self.blocks_per_row,
+                self.rows_per_block, self.tasks_per_thread,
+                self.kind.value)
+
     def output_elements_per_block(self) -> int:
         """Contiguous output elements one block produces.
 

@@ -75,12 +75,18 @@ class AnsorCompiler(Compiler):
         cost_model = cost_model_for(spec)
 
         def tuned_mapping(root: Node) -> ThreadMapping:
+            # One vectorized pricing pass over the whole candidate set;
+            # the winner is still the *first* strictly-better candidate,
+            # exactly as the scalar loop picked it.
+            candidates = _candidate_mappings(root)
+            probes = [kernel_cost_inputs(make_kernel(graph, [root],
+                                                     candidate,
+                                                     outputs=[root]))
+                      for candidate in candidates]
             best = None
             best_time = math.inf
-            for candidate in _candidate_mappings(root):
-                probe = make_kernel(graph, [root], candidate,
-                                    outputs=[root])
-                time = cost_model.price(kernel_cost_inputs(probe)).duration
+            for candidate, time in zip(candidates,
+                                       cost_model.price_durations(probes)):
                 if time < best_time:
                     best_time = time
                     best = candidate

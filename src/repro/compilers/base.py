@@ -43,6 +43,11 @@ class CompiledModule:
             CUDA Graph and replayed — per-kernel launch latency collapses
             to a small per-node dispatch.
         compile_seconds: Modeled JIT compilation cost (Sec 6.4.1).
+        codegen_tag: Free-form marker of codegen decisions that are not
+            visible in the step list's shape alone (e.g. which tuning
+            config produced the launch configurations); folded into the
+            plan-cache pricing signature so cached execution plans
+            invalidate when the decision changes.
     """
 
     graph: Graph
@@ -51,6 +56,7 @@ class CompiledModule:
     framework_mode: bool = False
     graph_replay: bool = False
     compile_seconds: float = 0.0
+    codegen_tag: str = ""
 
     def kernels(self) -> list[Kernel]:
         return [s for s in self.steps if isinstance(s, Kernel)]
@@ -208,6 +214,18 @@ def framework_memcpys(graph: Graph, kernels: Iterable[Kernel],
     for out in graph.outputs:
         calls.append(MemcpyCall(out.num_elements * out.dtype.nbytes,
                                 tag=f"d2h_{out.name}"))
+    calls.extend(kernel_memcpys(kernels))
+    for i in range(library_count):
+        calls.append(MemcpyCall(4096, tag=f"workspace_{i}"))
+    return calls
+
+
+def kernel_memcpys(kernels: Iterable[Kernel]) -> list[MemcpyCall]:
+    """The memcpy activities that depend on the kernels themselves —
+    atomic-accumulation memsets and boundary d2d copies.  Unlike the
+    h2d/d2h staging (fixed by the graph), these vary with the thread
+    mappings, so variant comparisons must account for them."""
+    calls: list[MemcpyCall] = []
     for kernel in kernels:
         needs_memset = (kernel.mapping.uses_atomics
                         or kernel.mapping.kind is MappingKind.COLUMN_REDUCE
@@ -221,6 +239,4 @@ def framework_memcpys(graph: Graph, kernels: Iterable[Kernel],
                         for o in kernel.outputs
                         if o.kind in _VIEW_KINDS)
             calls.append(MemcpyCall(total, tag=f"d2d_{kernel.name}"))
-    for i in range(library_count):
-        calls.append(MemcpyCall(4096, tag=f"workspace_{i}"))
     return calls

@@ -81,20 +81,30 @@ class UnifiedLaunch:
 
 def unify_launch(groups: list[GroupInfo], spec: GPUSpec, adaptive: bool,
                  needs_barrier: bool,
-                 max_block_size: int = 1024) -> UnifiedLaunch:
+                 max_block_size: int = 1024,
+                 overrides: dict[int, ThreadMapping] | None = None,
+                 ) -> UnifiedLaunch:
     """Compute one launch configuration covering every group.
 
     When the kernel will contain global barriers, the grid must not exceed
     one wave (Sec 3.2.3); per-group mappings are built under that cap so
     their work folds into vertical packing rather than extra blocks.
+
+    Args:
+        overrides: Group id -> mapping decided elsewhere (the autotuner
+            of :mod:`repro.tuning`); groups absent from it fall back to
+            the heuristic :func:`dominant_mapping`.
     """
     block_size = min(max_block_size, spec.max_threads_per_block)
     wave_limit = spec.blocks_per_wave(block_size) if needs_barrier else None
 
     group_mappings: dict[int, ThreadMapping] = {}
     for group in groups:
-        group_mappings[group.group_id] = dominant_mapping(
-            group.dominant, spec, adaptive, wave_limit=wave_limit)
+        mapping = overrides.get(group.group_id) if overrides else None
+        if mapping is None:
+            mapping = dominant_mapping(group.dominant, spec, adaptive,
+                                       wave_limit=wave_limit)
+        group_mappings[group.group_id] = mapping
 
     grid = max(m.grid_size for m in group_mappings.values())
     block = max(m.block_size for m in group_mappings.values())

@@ -33,6 +33,12 @@ class AStitchConfig:
             wide barriers inside kernels).  When off, every schedule group
             becomes its own kernel — approximating the shared-memory-only
             FusionStitching predecessor the related work cites.
+        tune: Autotune per-group launch configurations against the GPU
+            cost model (:mod:`repro.tuning`) instead of trusting the
+            one-shot heuristics; the heuristic lowering is kept as a
+            guard, so tuning never worsens modeled latency.  When off,
+            dominants get the plain Sec 3.3 heuristic mappings (the
+            ablation / fallback path).
         max_block_size: Upper bound on thread-block size (Sec 4.5 prefers
             the CUDA maximum to minimize per-wave block count).
     """
@@ -42,6 +48,7 @@ class AStitchConfig:
     dominant_merging: bool = True
     remote_stitching: bool = True
     enable_global_scheme: bool = True
+    tune: bool = True
     max_block_size: int = 1024
 
     @staticmethod
@@ -64,3 +71,14 @@ class AStitchConfig:
     def regional_only() -> "AStitchConfig":
         """Extra ablation: no global scheme (kernel-per-group stitching)."""
         return AStitchConfig(enable_global_scheme=False)
+
+    @staticmethod
+    def heuristic_mappings() -> "AStitchConfig":
+        """Tuning ablation: the one-shot Sec 3.3 heuristics, no search."""
+        return AStitchConfig(tune=False)
+
+    def tuning_tag(self) -> str:
+        """Rendering of the tuning-relevant switches, used in tuning-cache
+        keys so ablation configs can never alias each other's decisions."""
+        return (f"atm={int(self.adaptive_thread_mapping)}"
+                f"|block={self.max_block_size}")

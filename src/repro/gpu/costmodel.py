@@ -291,6 +291,17 @@ class KernelCostModel:
             "bound_by": bound_by,
         }
 
+    def price_durations(self, inputs_list: Sequence[KernelCostInputs],
+                        ) -> list[float]:
+        """Durations only, for callers ranking candidates (the tuner)."""
+        return [c.duration for c in self.price_batch(inputs_list)]
+
+    def clear_memo(self) -> None:
+        """Drop the price memo (counters stay correct; only re-derived)."""
+        self._memo.clear()
+        self.memo_hits = 0
+        self.memo_misses = 0
+
     def library_kernel_time(self, flops: float, bytes_moved: float) -> float:
         """Price a compute-intensive library call (cuBLAS/cuDNN path).
 

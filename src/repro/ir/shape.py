@@ -24,7 +24,7 @@ ShapeLike = Union["Shape", Iterable[int]]
 class Shape:
     """An immutable, row-major tensor shape."""
 
-    __slots__ = ("_dims",)
+    __slots__ = ("_dims", "_num_elements")
 
     def __init__(self, dims: Iterable[int]):
         dims = tuple(int(d) for d in dims)
@@ -49,7 +49,14 @@ class Shape:
 
     @property
     def num_elements(self) -> int:
-        return math.prod(self._dims) if self._dims else 1
+        # Lazily cached: shapes are immutable and this is on the hot
+        # path of signature/cost derivation.  The try/except keeps
+        # instances unpickled from before the slot existed working.
+        try:
+            return self._num_elements
+        except AttributeError:
+            self._num_elements = math.prod(self._dims) if self._dims else 1
+            return self._num_elements
 
     def is_scalar(self) -> bool:
         return self.rank == 0

@@ -185,6 +185,22 @@ class CompileService:
                 thread_name_prefix="repro-compile")
         return self._pool
 
+    def run_parallel(self, thunks: Sequence) -> list:
+        """Run independent callables on the worker pool; results in order.
+
+        The escape hatches keep this safe to call from anywhere: inline
+        when the service is configured synchronous (``max_workers == 0``),
+        when there is nothing to fan out, or when the caller *is* a
+        worker thread (a compilation tuning its schedule groups must not
+        wait on the pool it occupies — that deadlocks a full pool).
+        """
+        if (self.max_workers == 0 or len(thunks) <= 1
+                or threading.current_thread().name.startswith(
+                    "repro-compile")):
+            return [thunk() for thunk in thunks]
+        futures = [self._executor().submit(thunk) for thunk in thunks]
+        return [future.result() for future in futures]
+
     # -- convenience ------------------------------------------------------------
 
     def compile(self, graph: Graph, compiler: Compiler,

@@ -52,7 +52,7 @@ from repro.runtime.compile_cache import CACHE_DIR_ENV
 
 # Bump on any change to the plan payload, the signature encoding or the
 # key composition; invalidates every persisted plan at once.
-PLAN_FORMAT_VERSION = 1
+PLAN_FORMAT_VERSION = 2
 
 # In-memory entry bound: a plan is a few KB of floats per step; even the
 # 8k-step Transformer plans keep hundreds of entries comfortable.
@@ -130,10 +130,13 @@ class ExecutionPlan:
 def module_pricing_signature(module: CompiledModule) -> str:
     """Content digest of everything pricing reads from a module.
 
-    Covers the execution mode flags and, per step, the cost-model
-    inputs: a kernel's :class:`~repro.gpu.costmodel.KernelCostInputs`,
-    a library call's flops/bytes, a memcpy's size.  Memoized on the
-    module object (dropped on pickling) — the walk is O(steps) once.
+    Covers the execution mode flags, the codegen tag (which tuning
+    configuration decided the launch configs — a tuned and an untuned
+    module with coincidentally equal step lists must not share a plan)
+    and, per step, the cost-model inputs: a kernel's
+    :class:`~repro.gpu.costmodel.KernelCostInputs`, a library call's
+    flops/bytes, a memcpy's size.  Memoized on the module object
+    (dropped on pickling) — the walk is O(steps) once.
     """
     cached = module.__dict__.get("_pricing_signature")
     if cached is not None:
@@ -141,7 +144,8 @@ def module_pricing_signature(module: CompiledModule) -> str:
     digest = hashlib.sha256()
     digest.update(
         f"plan-sig-v{PLAN_FORMAT_VERSION}|{module.compiler_name}"
-        f"|{module.framework_mode}|{module.graph_replay}".encode("utf-8"))
+        f"|{module.framework_mode}|{module.graph_replay}"
+        f"|{getattr(module, 'codegen_tag', '')}".encode("utf-8"))
     for step in module.steps:
         if isinstance(step, Kernel):
             entry = ("k", dataclasses.astuple(kernel_cost_inputs(step)))

@@ -131,3 +131,73 @@ class TestAdaptiveMappings:
         assert (rows, width) == (64, 30_000)
         rows, width = mapping.reduce_geometry(Shape((64, 30_000)), (0,))
         assert (rows, width) == (30_000, 64)
+
+
+class TestDegenerateShapes:
+    """Empty/single-element tensors and broken wave caps must still
+    produce legal launches through every adaptive constructor."""
+
+    def test_zero_rows_row_reduce(self):
+        m = mapping.adaptive_row_reduce(0, 128, V100)
+        assert m.grid_size >= 1 and m.block_size >= 1
+
+    def test_width_one_row_reduce(self):
+        m = mapping.adaptive_row_reduce(1000, 1, V100)
+        assert m.grid_size >= 1
+        assert m.blocks_per_row == 1  # nothing to split in a 1-wide row
+
+    def test_single_element_row_reduce(self):
+        m = mapping.adaptive_row_reduce(1, 1, V100)
+        assert m.grid_size == 1
+        assert m.block_size >= 1
+
+    def test_zero_elements_elementwise(self):
+        m = mapping.adaptive_elementwise(0, V100)
+        assert m.grid_size >= 1 and m.block_size >= 1
+
+    def test_zero_size_column_reduce(self):
+        m = mapping.adaptive_column_reduce(0, 0, V100)
+        assert m.grid_size >= 1 and m.block_size >= 1
+
+    @pytest.mark.parametrize("wave_limit", [0, -1, 1])
+    def test_degenerate_wave_limit_elementwise(self, wave_limit):
+        m = mapping.adaptive_elementwise(10_000, V100,
+                                         wave_limit=wave_limit)
+        assert m.grid_size >= 1
+        assert m.grid_size <= max(1, wave_limit)
+
+    @pytest.mark.parametrize("wave_limit", [0, -1, 1])
+    def test_degenerate_wave_limit_row_reduce(self, wave_limit):
+        m = mapping.adaptive_row_reduce(5000, 64, V100,
+                                        wave_limit=wave_limit)
+        assert m.grid_size >= 1
+        assert m.grid_size <= max(1, wave_limit)
+
+    @pytest.mark.parametrize("wave_limit", [0, -1, 1])
+    def test_degenerate_wave_limit_column_reduce(self, wave_limit):
+        m = mapping.adaptive_column_reduce(5000, 64, V100,
+                                           wave_limit=wave_limit)
+        assert m.grid_size >= 1
+        assert m.grid_size <= max(1, wave_limit)
+
+    def test_block_size_respects_device_ceiling(self):
+        small = dataclasses_replace_max_threads(512)
+        m = mapping.adaptive_elementwise(1_000_000, small,
+                                         block_size=1024)
+        assert m.block_size <= 512
+
+    def test_reduce_geometry_zero_length_axis(self):
+        from repro.ir.shape import Shape
+        rows, width = mapping.reduce_geometry(Shape((0, 128)), (1,))
+        assert rows >= 1 and width >= 1
+
+    def test_reduce_geometry_single_element(self):
+        from repro.ir.shape import Shape
+        rows, width = mapping.reduce_geometry(Shape((1,)), (0,))
+        assert (rows, width) == (1, 1)
+
+
+def dataclasses_replace_max_threads(limit):
+    import dataclasses
+    return dataclasses.replace(V100, name=f"V100-{limit}",
+                               max_threads_per_block=limit)

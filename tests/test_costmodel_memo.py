@@ -12,7 +12,8 @@ import dataclasses
 import pytest
 
 from repro.gpu.costmodel import KernelCostInputs, KernelCostModel, cost_model_for
-from repro.gpu.occupancy import _occupancy_cached, occupancy
+from repro.gpu.occupancy import (clear_occupancy_cache, occupancy,
+                                 occupancy_cache_info)
 from repro.gpu.spec import A100, T4, V100, GPUSpec
 
 
@@ -120,10 +121,10 @@ class TestCostModelMemo:
 
 class TestOccupancyMemo:
     def test_cached_matches_direct(self):
-        _occupancy_cached.cache_clear()
+        clear_occupancy_cache()
         want = occupancy(V100, 256, regs_per_thread=64, smem_per_block=8192)
-        info = _occupancy_cached.cache_info()
-        assert info.misses == 1
+        info = occupancy_cache_info()
+        assert info["misses"] == 1
         again = occupancy(V100, 256, regs_per_thread=64, smem_per_block=8192)
         assert again == want
-        assert _occupancy_cached.cache_info().hits == info.hits + 1
+        assert occupancy_cache_info()["hits"] == info["hits"] + 1

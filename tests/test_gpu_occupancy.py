@@ -124,3 +124,76 @@ class TestSpecs:
 
     def test_max_resident_blocks(self):
         assert V100.max_resident_blocks == 80 * 32
+
+
+class TestOccupancyCacheControls:
+    """The bounded, configurable memo that replaced the module's
+    unbounded ``functools.lru_cache``."""
+
+    def setup_method(self):
+        from repro.gpu.occupancy import clear_occupancy_cache
+        clear_occupancy_cache()
+
+    def test_cache_info_counts(self):
+        from repro.gpu.occupancy import occupancy_cache_info
+        occupancy(V100, 256)
+        occupancy(V100, 256)
+        info = occupancy_cache_info()
+        assert info["misses"] == 1
+        assert info["hits"] == 1
+        assert info["entries"] == 1
+
+    def test_clear_resets_entries_and_counters(self):
+        from repro.gpu.occupancy import (clear_occupancy_cache,
+                                         occupancy_cache_info)
+        occupancy(V100, 256)
+        clear_occupancy_cache()
+        info = occupancy_cache_info()
+        assert info["entries"] == 0
+        assert info["hits"] == 0 and info["misses"] == 0
+
+    def test_resize_bounds_entries(self):
+        from repro.gpu.occupancy import (occupancy_cache_info,
+                                         set_occupancy_cache_size)
+        try:
+            set_occupancy_cache_size(4)
+            for block in (32, 64, 128, 256, 512, 1024):
+                occupancy(V100, block)
+            info = occupancy_cache_info()
+            assert info["entries"] <= 4
+            assert info["maxsize"] == 4
+        finally:
+            set_occupancy_cache_size(4096)
+
+    def test_env_var_sets_initial_size(self, monkeypatch):
+        # ``import repro.gpu.occupancy as m`` resolves to the *function*
+        # the package re-exports under the same name; go via sys.modules.
+        import sys
+        occ_mod = sys.modules["repro.gpu.occupancy"]
+        monkeypatch.setenv("REPRO_OCCUPANCY_CACHE_SIZE", "7")
+        assert occ_mod._initial_cache_size() == 7
+        monkeypatch.setenv("REPRO_OCCUPANCY_CACHE_SIZE", "garbage")
+        assert occ_mod._initial_cache_size() == occ_mod._DEFAULT_CACHE_SIZE
+
+    def test_keys_on_full_spec_value(self):
+        # Two specs differing in any field must not share entries.
+        import dataclasses
+        from repro.gpu.occupancy import occupancy_cache_info
+        tweaked = dataclasses.replace(V100, num_sms=V100.num_sms + 1)
+        a = occupancy(V100, 256)
+        b = occupancy(tweaked, 256)
+        assert occupancy_cache_info()["entries"] == 2
+        assert b.blocks_per_wave != a.blocks_per_wave
+
+    def test_gpu_clear_caches_covers_occupancy(self):
+        from repro.gpu import clear_caches
+        from repro.gpu.occupancy import occupancy_cache_info
+        occupancy(V100, 256)
+        clear_caches()
+        assert occupancy_cache_info()["entries"] == 0
+
+    def test_exceptions_not_cached(self):
+        from repro.gpu.occupancy import occupancy_cache_info
+        with pytest.raises(ValueError):
+            occupancy(V100, 4096)
+        assert occupancy_cache_info()["entries"] == 0
