@@ -15,6 +15,7 @@ are cache hits.
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
@@ -31,6 +32,7 @@ from repro.runtime import convert_to_amp, default_service
 from repro.workloads import WORKLOADS, build
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+REPO_ROOT = pathlib.Path(__file__).parent.parent
 
 INFERENCE_COMPILERS = ["TensorFlow", "XLA", "TensorRT", "AStitch"]
 TRAINING_COMPILERS = ["TensorFlow", "XLA", "AStitch"]
@@ -42,6 +44,22 @@ def save_report(name: str, text: str) -> None:
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
     print()
     print(text)
+
+
+def record_bench(name: str, payload: dict, *,
+                 sort_keys: bool = False) -> None:
+    """Record a BENCH payload to both of its tracked locations.
+
+    One JSON document, two readers: ``BENCH_<name>.json`` at the repo
+    root (the at-a-glance perf trajectory) and a twin under
+    ``benchmarks/results/`` next to the rendered report.  Every bench
+    writes through here so the copies can never drift.
+    """
+    encoded = json.dumps(payload, indent=2, sort_keys=sort_keys) + "\n"
+    RESULTS_DIR.mkdir(exist_ok=True)
+    for path in (REPO_ROOT / f"BENCH_{name}.json",
+                 RESULTS_DIR / f"BENCH_{name}.json"):
+        path.write_text(encoded)
 
 
 def compile_cached(compiler, graph, spec=V100):

@@ -19,9 +19,7 @@ variants, and would drown the launch-config signal the tuner targets).
 
 from __future__ import annotations
 
-import json
 import math
-import pathlib
 import time
 
 from repro.core import AStitchCompiler, AStitchConfig
@@ -30,9 +28,7 @@ from repro.runtime.engine import Engine
 from repro.tuning import TuningCache, set_default_tuning_cache
 from repro.workloads import WORKLOADS, build, micro
 
-from benchmarks.conftest import RESULTS_DIR, save_report
-
-ROOT = pathlib.Path(__file__).parent.parent
+from benchmarks.conftest import record_bench, save_report
 
 # Row-reduce geometries where the one-shot wave-capping rule is wrong
 # (plus two where it is right — the geomean is honest, not cherry-picked).
@@ -141,10 +137,7 @@ def test_bench_autotune():
         "compile": compile_rows,
         "warm_compile_ratio": warm_ratio,
     }
-    encoded = json.dumps(payload, indent=2, sort_keys=True)
-    (ROOT / "BENCH_autotune.json").write_text(encoded + "\n")
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_autotune.json").write_text(encoded + "\n")
+    record_bench("autotune", payload, sort_keys=True)
 
     lines = ["BENCH autotune: tuned vs heuristic launch configs", ""]
     lines.append(f"{'workload':<14} {'heuristic us':>14} {'tuned us':>12} "

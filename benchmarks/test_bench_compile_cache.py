@@ -14,8 +14,6 @@ Acceptance bar asserted here: warm is at least 5x faster than cold.
 
 from __future__ import annotations
 
-import json
-import pathlib
 import time
 
 from repro.compilers import (
@@ -29,9 +27,8 @@ from repro.runtime.compile_cache import CompileCache
 from repro.runtime.compile_service import CompileService
 from repro.workloads import WORKLOADS, build
 
-from benchmarks.conftest import RESULTS_DIR, save_report
+from benchmarks.conftest import record_bench, save_report
 
-ROOT = pathlib.Path(__file__).parent.parent
 SPEEDUP_FLOOR = 5.0
 
 
@@ -80,10 +77,7 @@ def test_bench_compile_cache():
         "cache": {"hits": stats.hits, "misses": stats.misses,
                   "evictions": stats.evictions},
     }
-    encoded = json.dumps(payload, indent=2)
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (ROOT / "BENCH_compile_cache.json").write_text(encoded + "\n")
-    (RESULTS_DIR / "BENCH_compile_cache.json").write_text(encoded + "\n")
+    record_bench("compile_cache", payload)
 
     lines = [f"{'workload':<12} {'compiler':<11} {'cold (ms)':>10} "
              f"{'warm (ms)':>10}"]

@@ -17,14 +17,10 @@ wall clock, and byte-identical metrics versus the scalar slow path.
 
 from __future__ import annotations
 
-import json
-import pathlib
-
 from repro.analysis.hotpath import render_hotpath_report, run_hotpath_bench
 
-from benchmarks.conftest import RESULTS_DIR, save_report
+from benchmarks.conftest import record_bench, save_report
 
-ROOT = pathlib.Path(__file__).parent.parent
 SPEEDUP_FLOOR = 5.0
 REQUEST_FLOOR = 10_000
 
@@ -33,10 +29,7 @@ def test_bench_hotpath():
     """Cold-vs-warm hot-path wall time; asserts the >=5x warm speedup."""
     payload = run_hotpath_bench()
 
-    encoded = json.dumps(payload, indent=2)
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (ROOT / "BENCH_hotpath.json").write_text(encoded + "\n")
-    (RESULTS_DIR / "BENCH_hotpath.json").write_text(encoded + "\n")
+    record_bench("hotpath", payload)
     save_report("BENCH_hotpath", render_hotpath_report(payload))
 
     load = payload["loadtest"]

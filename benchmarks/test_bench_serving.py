@@ -18,16 +18,14 @@ than the baseline at the fixed p99 SLO on both workloads.
 from __future__ import annotations
 
 import json
-import pathlib
 
 from repro.compilers import XLACompiler
 from repro.core import AStitchCompiler
 from repro.gpu.spec import V100
 from repro.serving import serving_benchmark
 
-from benchmarks.conftest import RESULTS_DIR, save_report
-
-ROOT = pathlib.Path(__file__).parent.parent
+from benchmarks.conftest import REPO_ROOT as ROOT
+from benchmarks.conftest import record_bench, save_report
 
 WORKLOADS_UNDER_TEST = ["Transformer", "CRNN"]
 SLO_SECONDS = 0.5
@@ -44,10 +42,7 @@ def test_bench_serving():
         duration=DURATION,
         seed=0,
     )
-    encoded = json.dumps(payload, indent=2)
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (ROOT / "BENCH_serving.json").write_text(encoded + "\n")
-    (RESULTS_DIR / "BENCH_serving.json").write_text(encoded + "\n")
+    record_bench("serving", payload)
 
     lines = [f"{'workload':<12} {'XLA QPS':>9} {'AStitch QPS':>12} "
              f"{'gain':>6}   (p99 SLO {SLO_SECONDS * 1e3:.0f} ms, "

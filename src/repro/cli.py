@@ -6,6 +6,7 @@
     python -m repro dump-graph BERT [--full]
     python -m repro dump-cuda softmax
     python -m repro warmup [--cache-dir ~/.cache/repro] [--train]
+    python -m repro passes CRNN DIEN --compiler all --verify
     python -m repro serve Transformer --qps 10 --workers 2 [--policy edf]
     python -m repro loadtest --workload transformer --qps 8 --workers 2
 """
@@ -470,6 +471,87 @@ def cmd_tune(args) -> int:
     return 1 if failures else 0
 
 
+def cmd_passes(args) -> int:
+    """List compiler pass pipelines and audit them on real graphs.
+
+    Prints each selected compiler's declared pipeline (pass signatures
+    plus the composition fingerprint), then runs every requested graph
+    through it with per-pass instrumentation.  With ``--verify`` the IR
+    is validated between graph passes; any violation prints its pass
+    context and the command exits non-zero (the CI pipeline-audit job).
+    """
+    import pathlib
+
+    from repro.compilers.base import CompilationError
+    from repro.compilers.tensorrt import UnsupportedWorkloadError
+    from repro.runtime.trace import write_pass_trace
+
+    spec = DEVICES[args.device]
+    names = list(COMPILERS) if args.compiler == "all" \
+        else [args.compiler]
+    compilers = {name: COMPILERS[name]() for name in names}
+
+    for name, compiler in compilers.items():
+        pipeline = compiler.build_pipeline()
+        if pipeline is None:
+            print(f"{name}: no declared pipeline")
+            continue
+        rows = [[index, p.name, p.kind, p.signature()]
+                for index, p in enumerate(pipeline.passes)]
+        print(render_table(
+            ["#", "pass", "kind", "signature"], rows,
+            title=f"{name} pipeline {pipeline.name!r} "
+                  f"(fingerprint {pipeline.fingerprint()})"))
+        print()
+
+    violations = 0
+    runs = [(graph_name, name)
+            for graph_name in args.graphs for name in names]
+    for graph_name, name in runs:
+        graph = _build_graph(graph_name, args.train)
+        try:
+            run = compilers[name].run_pipeline(
+                graph, spec, optimize=args.optimize,
+                validate=args.verify)
+        except UnsupportedWorkloadError as error:
+            print(f"{graph_name} / {name}: skipped ({error})\n")
+            continue
+        except CompilationError as error:
+            print(f"FAIL {graph_name} / {name}: {error}\n")
+            violations += 1
+            continue
+        rows = []
+        for report in run.reports:
+            rows.append([
+                report.pass_name, report.kind,
+                f"{report.seconds*1e3:.2f}",
+                f"{report.nodes_before}->{report.nodes_after}",
+                f"{report.kernels_before}->{report.kernels_after}",
+                f"{report.steps_before}->{report.steps_after}",
+                ", ".join(f"{k}={v}"
+                          for k, v in report.detail.items()),
+            ])
+        verified = " [verified]" if args.verify else ""
+        print(render_table(
+            ["pass", "kind", "ms", "nodes", "kernels", "steps",
+             "detail"], rows,
+            title=f"{graph_name} / {name}{verified}: "
+                  f"{len(run.reports)} passes, "
+                  f"{run.seconds*1e3:.2f} ms"))
+        print()
+        if args.trace:
+            path = pathlib.Path(args.trace)
+            if len(runs) > 1:
+                path = path.with_name(
+                    f"{path.stem}_{graph_name}_{name}{path.suffix}")
+            write_pass_trace(run.reports, str(path),
+                             pipeline=run.pipeline.name)
+            print(f"wrote {path} (load into chrome://tracing)")
+    if violations:
+        print(f"FAIL: {violations} pipeline violation(s)")
+    return 1 if violations else 0
+
+
 def cmd_cache_stats(_args) -> int:
     """Show hit/miss/eviction counters for all three cache tiers.
 
@@ -662,6 +744,29 @@ def make_parser() -> argparse.ArgumentParser:
     tune.add_argument("--device", choices=DEVICES, default="V100")
     tune.add_argument("--train", action="store_true")
     tune.set_defaults(func=cmd_tune)
+
+    passes = sub.add_parser(
+        "passes",
+        help="list and audit compiler pass pipelines")
+    passes.add_argument("graphs", nargs="+",
+                        help="workload or micro graph name(s)")
+    passes.add_argument("--compiler",
+                        choices=list(COMPILERS) + ["all"],
+                        default="AStitch",
+                        help="pipeline to audit ('all' for every "
+                             "registered compiler)")
+    passes.add_argument("--device", choices=DEVICES, default="V100")
+    passes.add_argument("--train", action="store_true")
+    passes.add_argument("--optimize", action="store_true",
+                        help="audit the simplify-prefixed pipeline "
+                             "variant instead")
+    passes.add_argument("--verify", action="store_true",
+                        help="validate the IR between graph passes; "
+                             "exit non-zero on any violation")
+    passes.add_argument("--trace", default="",
+                        help="write a chrome://tracing JSON of the "
+                             "per-pass timings here")
+    passes.set_defaults(func=cmd_passes)
 
     cache = sub.add_parser("cache", help="cache inspection")
     cache_sub = cache.add_subparsers(dest="cache_command", required=True)

@@ -18,24 +18,21 @@ from __future__ import annotations
 
 import math
 
-from repro.compilers.base import (
-    CompiledModule,
-    Compiler,
-    framework_memcpys,
-    order_steps,
-)
-from repro.compilers.common import (
-    build_root_kernels,
-    tvm_fusion_roots,
-)
+from repro.compilers.base import Compiler
+from repro.compilers.common import MappingFn, tvm_fusion_roots
 from repro.codegen.builder import kernel_cost_inputs, make_kernel
 from repro.codegen import mapping as mappings
 from repro.codegen.schedule import ThreadMapping
 from repro.gpu.costmodel import cost_model_for
-from repro.gpu.spec import GPUSpec, V100
-from repro.ir.graph import Graph, Node
+from repro.gpu.spec import V100
+from repro.ir.graph import Node
 from repro.ir.ops import OpKind
-from repro.ir import patterns
+from repro.pipeline.base import CompileState, Pipeline
+from repro.pipeline.lowering import (
+    FinalizeModulePass,
+    FusionKernelFormationPass,
+    standard_tail,
+)
 
 # Modeled auto-tuning cost: 2000 measurement trials at ~1 s each.
 ANSOR_TUNING_SECONDS = 2000.0
@@ -64,42 +61,45 @@ def _candidate_mappings(root: Node) -> list[ThreadMapping]:
     return candidates
 
 
+def tuned_mapping_factory(state: CompileState) -> MappingFn:
+    """The cost-model schedule search, closed over one compile's graph
+    and device."""
+    graph = state.graph
+    # The shared memoized model: tuning probes repeat launch
+    # configurations heavily, within a compile and across compiles.
+    cost_model = cost_model_for(state.spec)
+
+    def tuned_mapping(root: Node) -> ThreadMapping:
+        # One vectorized pricing pass over the whole candidate set;
+        # the winner is still the *first* strictly-better candidate,
+        # exactly as the scalar loop picked it.
+        candidates = _candidate_mappings(root)
+        probes = [kernel_cost_inputs(make_kernel(graph, [root],
+                                                 candidate,
+                                                 outputs=[root]))
+                  for candidate in candidates]
+        best = None
+        best_time = math.inf
+        for candidate, time in zip(candidates,
+                                   cost_model.price_durations(probes)):
+            if time < best_time:
+                best_time = time
+                best = candidate
+        return best
+
+    return tuned_mapping
+
+
 class AnsorCompiler(Compiler):
     """TVM fusion scope with cost-model-tuned per-kernel schedules."""
 
     name = "Ansor"
 
-    def compile(self, graph: Graph, spec: GPUSpec = V100) -> CompiledModule:
-        # The shared memoized model: tuning probes repeat launch
-        # configurations heavily, within a compile and across compiles.
-        cost_model = cost_model_for(spec)
-
-        def tuned_mapping(root: Node) -> ThreadMapping:
-            # One vectorized pricing pass over the whole candidate set;
-            # the winner is still the *first* strictly-better candidate,
-            # exactly as the scalar loop picked it.
-            candidates = _candidate_mappings(root)
-            probes = [kernel_cost_inputs(make_kernel(graph, [root],
-                                                     candidate,
-                                                     outputs=[root]))
-                      for candidate in candidates]
-            best = None
-            best_time = math.inf
-            for candidate, time in zip(candidates,
-                                       cost_model.price_durations(probes)):
-                if time < best_time:
-                    best_time = time
-                    best = candidate
-            return best
-
-        kernels = []
-        for component in patterns.memory_intensive_components(graph):
-            roots = tvm_fusion_roots(graph, component)
-            kernels.extend(build_root_kernels(graph, component, roots,
-                                              tuned_mapping))
-        library_nodes = list(graph.compute_intensive_nodes())
-        steps = order_steps(graph, kernels, library_nodes)
-        steps = list(framework_memcpys(graph, kernels,
-                                       len(library_nodes))) + steps
-        return CompiledModule(graph, steps, self.name,
-                              compile_seconds=ANSOR_TUNING_SECONDS)
+    def build_pipeline(self) -> Pipeline:
+        formation = FusionKernelFormationPass(
+            "ansor-schedule-search", tvm_fusion_roots,
+            tuned_mapping_factory, mapping_label="cost-model-tuned")
+        finalize = FinalizeModulePass(self.name,
+                                      fixed_seconds=ANSOR_TUNING_SECONDS)
+        return Pipeline(name="ansor",
+                        passes=(formation, *standard_tail(finalize)))

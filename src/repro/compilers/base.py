@@ -25,7 +25,58 @@ from repro.ir.ops import OpKind
 
 
 class CompilationError(RuntimeError):
-    """A compiler produced an unschedulable or incomplete step set."""
+    """A compilation stage failed.
+
+    Carries the failure's provenance so a pipeline error is debuggable
+    instead of a bare message: which pass raised (``pass_name``), in
+    which pipeline (``pipeline``), over which stitch scope (``scope``)
+    and graph node (``node``).  Context fields may be attached at raise
+    time or filled in as the error propagates (:meth:`add_context` —
+    the :class:`~repro.pipeline.manager.PassManager` annotates any
+    compilation error escaping a pass); once set, a field is never
+    overwritten, so the innermost context wins.
+    """
+
+    def __init__(self, message: str, *,
+                 pass_name: Optional[str] = None,
+                 pipeline: Optional[str] = None,
+                 scope: Optional[str] = None,
+                 node: Optional[str] = None):
+        super().__init__(message)
+        self.message = message
+        self.pass_name = pass_name
+        self.pipeline = pipeline
+        self.scope = scope
+        self.node = node
+
+    def add_context(self, *, pass_name: Optional[str] = None,
+                    pipeline: Optional[str] = None,
+                    scope: Optional[str] = None,
+                    node: Optional[str] = None) -> "CompilationError":
+        """Fill in provenance fields that are still unset."""
+        if self.pass_name is None:
+            self.pass_name = pass_name
+        if self.pipeline is None:
+            self.pipeline = pipeline
+        if self.scope is None:
+            self.scope = scope
+        if self.node is None:
+            self.node = node
+        return self
+
+    def context(self) -> dict[str, str]:
+        """The provenance fields that are set, in rendering order."""
+        fields = (("pass", self.pass_name), ("pipeline", self.pipeline),
+                  ("scope", self.scope), ("node", self.node))
+        return {label: value for label, value in fields
+                if value is not None}
+
+    def __str__(self) -> str:
+        context = self.context()
+        if not context:
+            return self.message
+        rendered = ", ".join(f"{k}={v}" for k, v in context.items())
+        return f"{self.message} [{rendered}]"
 
 
 @dataclasses.dataclass
@@ -91,22 +142,78 @@ class CompiledModule:
 
 
 class Compiler(abc.ABC):
-    """A graph -> module compilation strategy."""
+    """A graph -> module compilation strategy.
+
+    Every shipped compiler declares its plan as a
+    :class:`~repro.pipeline.base.Pipeline` via :meth:`build_pipeline`;
+    ``compile`` then runs it through the instrumented
+    :class:`~repro.pipeline.manager.PassManager`, so per-pass timing and
+    IR deltas ride on every module (``module.pass_reports``) along with
+    the composition digest (``module.pipeline_fingerprint``).  A
+    subclass may instead override :meth:`compile` directly (test
+    doubles do); such compilers have no pipeline and no fingerprint.
+    """
 
     name: str = "base"
 
-    @abc.abstractmethod
+    def build_pipeline(self) -> Optional["Pipeline"]:
+        """This compiler's declared pass pipeline (None when the
+        subclass overrides :meth:`compile` directly)."""
+        return None
+
     def compile(self, graph: Graph, spec: GPUSpec = V100) -> CompiledModule:
         """Compile ``graph`` for device ``spec``."""
+        run = self.run_pipeline(graph, spec)
+        return run.module
 
     def compile_optimized(self, graph: Graph,
                           spec: GPUSpec = V100) -> CompiledModule:
         """Run the retained XLA-style simplification pipeline
         (:mod:`repro.ir.passes`) before kernel formation — what Sec 5
         means by "retains all the optimizations of XLA except fusion"."""
-        from repro.ir.passes import optimize
-        optimized, _ = optimize(graph)
-        return self.compile(optimized, spec)
+        pipeline = self.build_pipeline()
+        if pipeline is None:
+            from repro.ir.passes import optimize
+            optimized, _ = optimize(graph)
+            return self.compile(optimized, spec)
+        return self.run_pipeline(graph, spec, optimize=True).module
+
+    def run_pipeline(self, graph: Graph, spec: GPUSpec = V100, *,
+                     optimize: bool = False, validate: bool = False):
+        """Run this compiler's pipeline, returning the instrumented
+        :class:`~repro.pipeline.manager.PipelineRun` (module + per-pass
+        reports).
+
+        Args:
+            optimize: Prepend the simplification fixpoint
+                (``compile_optimized``'s pipeline).
+            validate: Check IR invariants between graph passes.
+
+        Raises:
+            NotImplementedError: When the compiler declares no pipeline
+                and does not override :meth:`compile`.
+        """
+        pipeline = self.build_pipeline()
+        if pipeline is None:
+            raise NotImplementedError(
+                f"{type(self).__name__} declares no pipeline; override "
+                f"build_pipeline() or compile()")
+        from repro.pipeline.manager import PassManager
+        if optimize:
+            from repro.pipeline.lowering import optimized_pipeline
+            pipeline = optimized_pipeline(pipeline)
+        return PassManager(pipeline, validate=validate).run(graph, spec)
+
+    def pipeline_fingerprint(self, optimize: bool = False) -> str:
+        """The composition digest of this compiler's pipeline ("" when
+        it has none) — folded into compile-cache and plan-cache keys."""
+        pipeline = self.build_pipeline()
+        if pipeline is None:
+            return ""
+        if optimize:
+            from repro.pipeline.lowering import optimized_pipeline
+            pipeline = optimized_pipeline(pipeline)
+        return pipeline.fingerprint()
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"

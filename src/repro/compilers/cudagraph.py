@@ -6,18 +6,21 @@ fuse: every kernel still round-trips its tensors through global memory,
 and the captured graph's metadata occupies device memory per kernel.
 
 Modeled here as XLA's exact kernel set executed under graph replay:
-per-kernel launch overhead collapses to a small replay dispatch, while
-memory traffic, occupancy and instruction counts are untouched.  The
-comparison isolates how much of AStitch's win is launch overhead
-(CUDA Graph gets that too) versus off-chip traffic and parallelism
-(only stitching gets those).
+the pipeline is XLA's formation over the shared lowering tail, with the
+module finalized in replay mode — per-kernel launch overhead collapses
+to a small replay dispatch, while memory traffic, occupancy and
+instruction counts are untouched.  The comparison isolates how much of
+AStitch's win is launch overhead (CUDA Graph gets that too) versus
+off-chip traffic and parallelism (only stitching gets those).
 """
 
 from __future__ import annotations
 
 from repro.compilers.base import CompiledModule, Compiler
-from repro.compilers.xla import XLACompiler
-from repro.gpu.spec import GPUSpec, V100
+from repro.compilers.xla import XLA_COMPILE_SECONDS_PER_NODE, \
+    xla_formation_pass
+from repro.pipeline.base import Pipeline
+from repro.pipeline.lowering import FinalizeModulePass, standard_tail
 
 # Replay cost per captured kernel node (graph launch amortizes the
 # driver work; a small per-node hardware dispatch remains).
@@ -32,19 +35,13 @@ class CudaGraphCompiler(Compiler):
 
     name = "CUDAGraph"
 
-    def __init__(self):
-        self._inner = XLACompiler()
-
-    def compile(self, graph, spec: GPUSpec = V100) -> CompiledModule:
-        module = self._inner.compile(graph, spec)
-        return CompiledModule(
-            graph=module.graph,
-            steps=module.steps,
-            compiler_name=self.name,
-            framework_mode=False,
-            graph_replay=True,
-            compile_seconds=module.compile_seconds,
-        )
+    def build_pipeline(self) -> Pipeline:
+        finalize = FinalizeModulePass(
+            self.name, graph_replay=True,
+            seconds_per_node=XLA_COMPILE_SECONDS_PER_NODE)
+        return Pipeline(name="cudagraph",
+                        passes=(xla_formation_pass(),
+                                *standard_tail(finalize)))
 
     @staticmethod
     def metadata_bytes(module: CompiledModule) -> int:

@@ -6,18 +6,24 @@ AStitch's stated advances over it (Sec 7) are the **global stitching
 scheme** (device-wide data reuse with in-kernel barriers) and the
 search-free **adaptive thread mapping**.
 
-Modeled as the AStitch pipeline restricted to the regional scheme: a
+Modeled as the AStitch pipeline restricted to the regional scheme: the
+same stitching passes under ``AStitchConfig.regional_only()``, so a
 stitch scope whose values would need global buffering shatters into one
 kernel per schedule-group component instead of staying whole.  The
-`extra_fusionstitching` bench quantifies what the global scheme adds.
+module is finalized under this compiler's own name with no codegen tag
+(the predecessor's tuning decisions are not part of its public
+identity).  The `extra_fusionstitching` bench quantifies what the
+global scheme adds.
 """
 
 from __future__ import annotations
 
-from repro.compilers.base import CompiledModule, Compiler
-from repro.core.compiler import AStitchCompiler
+from repro.compilers.base import Compiler
+from repro.core.compiler import ASTITCH_COMPILE_SECONDS_PER_NODE
 from repro.core.config import AStitchConfig
-from repro.gpu.spec import GPUSpec, V100
+from repro.core.passes import stitching_passes
+from repro.pipeline.base import Pipeline
+from repro.pipeline.lowering import FinalizeModulePass, standard_tail
 
 
 class FusionStitchingCompiler(Compiler):
@@ -26,13 +32,16 @@ class FusionStitchingCompiler(Compiler):
     name = "FusionStitching"
 
     def __init__(self):
-        self._inner = AStitchCompiler(AStitchConfig.regional_only())
+        self.config = AStitchConfig.regional_only()
 
-    def compile(self, graph, spec: GPUSpec = V100) -> CompiledModule:
-        module = self._inner.compile(graph, spec)
-        return CompiledModule(
-            graph=module.graph,
-            steps=module.steps,
-            compiler_name=self.name,
-            compile_seconds=module.compile_seconds,
-        )
+    def build_pipeline(self) -> Pipeline:
+        cfg = self.config
+        tuning_enabled = (cfg.tune and cfg.adaptive_thread_mapping
+                          and cfg.exhaustive_stitching)
+        finalize = FinalizeModulePass(
+            self.name,
+            seconds_per_node=ASTITCH_COMPILE_SECONDS_PER_NODE)
+        return Pipeline(
+            name="fusionstitching",
+            passes=(*stitching_passes(cfg, tuning_enabled),
+                    *standard_tail(finalize)))

@@ -8,24 +8,22 @@ latency.
 
 from __future__ import annotations
 
-from repro.compilers.base import (
-    CompiledModule,
-    Compiler,
-    framework_memcpys,
-    order_steps,
-)
+from typing import Any
+
+from repro.compilers.base import Compiler
 from repro.compilers.common import naive_mapping_for
 from repro.codegen.builder import make_kernel
-from repro.gpu.spec import GPUSpec, V100
 from repro.ir.graph import Graph, Node
 from repro.ir.ops import OpKind
+from repro.pipeline.base import CompileState, Pass, Pipeline
+from repro.pipeline.lowering import FinalizeModulePass, standard_tail
 
 
 _VIEW_OPS = frozenset({OpKind.BROADCAST, OpKind.RESHAPE})
 
 
-class TensorFlowCompiler(Compiler):
-    """Kernel-per-op execution (TensorFlow v1.15 without XLA).
+class OpPerKernelFormationPass(Pass):
+    """Kernel-per-op formation (TensorFlow v1.15 without XLA).
 
     Broadcasts and reshapes are *views*: TensorFlow ops broadcast their
     operands implicitly and reshape is metadata-only, so neither
@@ -34,11 +32,11 @@ class TensorFlowCompiler(Compiler):
     memory round trip.
     """
 
-    name = "TensorFlow"
+    name = "op-per-kernel"
+    kind = "lower"
 
-    def compile(self, graph: Graph, spec: GPUSpec = V100) -> CompiledModule:
-        kernels = []
-        library_nodes = []
+    def run(self, state: CompileState) -> dict[str, Any]:
+        graph = state.graph
         graph_outputs = set(graph.outputs)
 
         def absorbable(node: Node) -> bool:
@@ -59,18 +57,30 @@ class TensorFlowCompiler(Compiler):
                     stack.extend(operand.operands)
             return nodes
 
+        absorbed = 0
         for node in graph.topological_order():
             if node.kind in (OpKind.PARAMETER, OpKind.CONSTANT):
                 continue
             if node.is_compute_intensive():
-                library_nodes.append(node)
+                # Library dispatch is the shared tail's job.
                 continue
             if absorbable(node):
+                absorbed += 1
                 continue
-            kernels.append(make_kernel(
+            state.kernels.append(make_kernel(
                 graph, view_closure(node), naive_mapping_for(node),
                 name=f"op_{node.name}", outputs=[node]))
-        steps = order_steps(graph, kernels, library_nodes)
-        steps = list(framework_memcpys(graph, kernels,
-                                       len(library_nodes))) + steps
-        return CompiledModule(graph, steps, self.name, framework_mode=True)
+        return {"kernels": len(state.kernels),
+                "views_absorbed": absorbed}
+
+
+class TensorFlowCompiler(Compiler):
+    """Kernel-per-op execution (TensorFlow v1.15 without XLA)."""
+
+    name = "TensorFlow"
+
+    def build_pipeline(self) -> Pipeline:
+        finalize = FinalizeModulePass(self.name, framework_mode=True)
+        return Pipeline(name="tensorflow",
+                        passes=(OpPerKernelFormationPass(),
+                                *standard_tail(finalize)))

@@ -15,21 +15,19 @@ executor cost), and training is unsupported.
 
 from __future__ import annotations
 
-from repro.compilers.base import (
-    CompiledModule,
-    Compiler,
-    framework_memcpys,
-    order_steps,
-)
-from repro.compilers.common import (
-    build_root_kernels,
-    has_external_user,
-    naive_mapping_for,
-)
-from repro.gpu.spec import GPUSpec, V100
+from typing import Any
+
+from repro.compilers.base import Compiler
+from repro.compilers.common import has_external_user
 from repro.ir.graph import Graph, Node
 from repro.ir.ops import OpKind, is_heavy_elementwise
-from repro.ir import patterns
+from repro.pipeline.base import CompileState, Pass, Pipeline
+from repro.pipeline.lowering import (
+    FinalizeModulePass,
+    FusionKernelFormationPass,
+    naive_mapping_factory,
+    standard_tail,
+)
 
 
 class UnsupportedWorkloadError(RuntimeError):
@@ -47,22 +45,31 @@ def _trt_roots(graph: Graph, component: list[Node]) -> list[Node]:
     return roots
 
 
+class RejectTrainingGraphsPass(Pass):
+    """TensorRT's workload gate: inference engines take no training
+    graphs.  Raises :class:`UnsupportedWorkloadError` (not a
+    ``CompilationError`` — callers distinguish "unsupported" from
+    "broken")."""
+
+    name = "reject-training-graphs"
+    kind = "lower"
+
+    def run(self, state: CompileState) -> dict[str, Any]:
+        if state.graph.name.endswith("-train"):
+            raise UnsupportedWorkloadError(
+                "TensorRT does not support training")
+        return {}
+
+
 class TensorRTCompiler(Compiler):
     """Layer-library execution for inference graphs."""
 
     name = "TensorRT"
 
-    def compile(self, graph: Graph, spec: GPUSpec = V100) -> CompiledModule:
-        if graph.name.endswith("-train"):
-            raise UnsupportedWorkloadError(
-                "TensorRT does not support training")
-        kernels = []
-        for component in patterns.memory_intensive_components(graph):
-            roots = _trt_roots(graph, component)
-            kernels.extend(build_root_kernels(graph, component, roots,
-                                              naive_mapping_for))
-        library_nodes = list(graph.compute_intensive_nodes())
-        steps = order_steps(graph, kernels, library_nodes)
-        steps = list(framework_memcpys(graph, kernels,
-                                       len(library_nodes))) + steps
-        return CompiledModule(graph, steps, self.name)
+    def build_pipeline(self) -> Pipeline:
+        formation = FusionKernelFormationPass(
+            "tensorrt-layer-fusion", _trt_roots, naive_mapping_factory)
+        return Pipeline(
+            name="tensorrt",
+            passes=(RejectTrainingGraphsPass(), formation,
+                    *standard_tail(FinalizeModulePass(self.name))))

@@ -10,20 +10,15 @@ Fewer kernels than XLA, more FP instructions.
 
 from __future__ import annotations
 
-from repro.compilers.base import (
-    CompiledModule,
-    Compiler,
-    framework_memcpys,
-    order_steps,
+from repro.compilers.base import Compiler
+from repro.compilers.common import tvm_fusion_roots
+from repro.pipeline.base import Pipeline
+from repro.pipeline.lowering import (
+    FinalizeModulePass,
+    FusionKernelFormationPass,
+    naive_mapping_factory,
+    standard_tail,
 )
-from repro.compilers.common import (
-    build_root_kernels,
-    naive_mapping_for,
-    tvm_fusion_roots,
-)
-from repro.gpu.spec import GPUSpec, V100
-from repro.ir.graph import Graph
-from repro.ir import patterns
 
 
 class TVMCompiler(Compiler):
@@ -31,14 +26,10 @@ class TVMCompiler(Compiler):
 
     name = "TVM"
 
-    def compile(self, graph: Graph, spec: GPUSpec = V100) -> CompiledModule:
-        kernels = []
-        for component in patterns.memory_intensive_components(graph):
-            roots = tvm_fusion_roots(graph, component)
-            kernels.extend(build_root_kernels(graph, component, roots,
-                                              naive_mapping_for))
-        library_nodes = list(graph.compute_intensive_nodes())
-        steps = order_steps(graph, kernels, library_nodes)
-        steps = list(framework_memcpys(graph, kernels,
-                                       len(library_nodes))) + steps
-        return CompiledModule(graph, steps, self.name)
+    def build_pipeline(self) -> Pipeline:
+        formation = FusionKernelFormationPass(
+            "tvm-fusion", tvm_fusion_roots, naive_mapping_factory)
+        return Pipeline(
+            name="tvm",
+            passes=(formation,
+                    *standard_tail(FinalizeModulePass(self.name))))

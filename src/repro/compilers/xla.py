@@ -18,24 +18,25 @@ Sec 6.4.1 measurement.
 
 from __future__ import annotations
 
-from repro.compilers.base import (
-    CompiledModule,
-    Compiler,
-    framework_memcpys,
-    order_steps,
+from repro.compilers.base import Compiler
+from repro.compilers.common import xla_fusion_roots
+from repro.pipeline.base import Pipeline
+from repro.pipeline.lowering import (
+    FinalizeModulePass,
+    FusionKernelFormationPass,
+    naive_mapping_factory,
+    standard_tail,
 )
-from repro.compilers.common import (
-    build_root_kernels,
-    naive_mapping_for,
-    xla_fusion_roots,
-)
-from repro.gpu.spec import GPUSpec, V100
-from repro.ir.graph import Graph
-from repro.ir import patterns
 
 # Seconds of JIT work per graph node (fits "XLA requires 30s in average"
 # on 5,000-10,000-node graphs, Sec 6.4.1).
 XLA_COMPILE_SECONDS_PER_NODE = 30.0 / 7500.0
+
+
+def xla_formation_pass() -> FusionKernelFormationPass:
+    """XLA's kernel formation: conservative roots, naive mappings."""
+    return FusionKernelFormationPass(
+        "xla-fusion", xla_fusion_roots, naive_mapping_factory)
 
 
 class XLACompiler(Compiler):
@@ -43,16 +44,9 @@ class XLACompiler(Compiler):
 
     name = "XLA"
 
-    def compile(self, graph: Graph, spec: GPUSpec = V100) -> CompiledModule:
-        kernels = []
-        for component in patterns.memory_intensive_components(graph):
-            roots = xla_fusion_roots(graph, component)
-            kernels.extend(build_root_kernels(graph, component, roots,
-                                              naive_mapping_for))
-        library_nodes = list(graph.compute_intensive_nodes())
-        steps = order_steps(graph, kernels, library_nodes)
-        steps = list(framework_memcpys(graph, kernels,
-                                       len(library_nodes))) + steps
-        return CompiledModule(
-            graph, steps, self.name,
-            compile_seconds=len(graph) * XLA_COMPILE_SECONDS_PER_NODE)
+    def build_pipeline(self) -> Pipeline:
+        finalize = FinalizeModulePass(
+            self.name, seconds_per_node=XLA_COMPILE_SECONDS_PER_NODE)
+        return Pipeline(name="xla",
+                        passes=(xla_formation_pass(),
+                                *standard_tail(finalize)))

@@ -1,102 +1,38 @@
 """The AStitch compiler (Sec 4).
 
-Pipeline per stitch scope:
+The compiler is a declared pipeline over the discrete phase passes of
+:mod:`repro.core.passes`:
 
-1. scope identification + remote stitching (:mod:`repro.core.scope`);
+1. stitching-scope identification + remote stitching
+   (:mod:`repro.core.scope`);
 2. dominant identification, merging, op grouping
    (:mod:`repro.core.dominants`);
 3. adaptive thread mapping + schedule propagation under a unified launch
    (:mod:`repro.core.adaptive`);
-4. scheme finalization via block-locality (:mod:`repro.core.locality`);
-5. shared-memory budgeting with regional->global demotion and global
+4. optional launch tuning with a lowered best-of guard
+   (:mod:`repro.tuning`);
+5. scheme finalization via block-locality (:mod:`repro.core.locality`);
+6. shared-memory budgeting with regional->global demotion and global
    scratch planning (:mod:`repro.core.memplan`);
-6. assume-relax-apply launch configuration (:mod:`repro.core.launch`).
+7. assume-relax-apply launch configuration (:mod:`repro.core.launch`)
+   and stitch-op emission.
 
 Every stitch scope becomes one GPU kernel with in-kernel global barriers
-between schedule-group stages — the *stitch op* of the paper.
+between schedule-group stages — the *stitch op* of the paper.  The
+shared lowering tail (library dispatch, step scheduling, memcpy
+planning, module assembly) comes from :mod:`repro.pipeline.lowering`.
 """
 
 from __future__ import annotations
 
-from repro.codegen.builder import make_kernel
-from repro.codegen.kernel import Kernel
-from repro.codegen import mapping as mappings
-from repro.compilers.base import (
-    CompiledModule,
-    Compiler,
-    framework_memcpys,
-    order_steps,
-)
-from repro.compilers.common import build_root_kernels, xla_fusion_roots
-from repro.core.adaptive import dominant_mapping, unify_launch
+from repro.compilers.base import Compiler
 from repro.core.config import AStitchConfig
-from repro.core.dominants import ScopeAnalysis, analyze_scope
-from repro.core.launch import configure_launch
-from repro.core.locality import assign_schemes
-from repro.core.memplan import plan_memory
-from repro.core.schemes import StitchScheme
-from repro.core.scope import StitchScope, identify_stitch_scopes
-from repro.gpu.spec import GPUSpec, V100
-from repro.ir.graph import Graph, Node
-from repro.ir.ops import OpKind
-from repro.ir import patterns
+from repro.core.passes import stitching_passes
+from repro.pipeline.base import Pipeline
+from repro.pipeline.lowering import FinalizeModulePass, standard_tail
 
 # Sec 6.4.1: ~90 s of JIT work on 5,000-10,000-node graphs.
 ASTITCH_COMPILE_SECONDS_PER_NODE = 90.0 / 7500.0
-
-
-def _group_sccs(graph: Graph, scope_set: set[Node],
-                analysis: ScopeAnalysis) -> list[list[int]]:
-    """Strongly-connected components of the group DAG, in topological
-    order of the condensation (iterative Kosaraju — the group graph is
-    tiny but may legitimately contain cycles after merging)."""
-    num = len(analysis.groups)
-    fwd: dict[int, set[int]] = {g: set() for g in range(num)}
-    rev: dict[int, set[int]] = {g: set() for g in range(num)}
-    for node in scope_set:
-        src = analysis.group_of[node]
-        for user in graph.users(node):
-            if user in scope_set and analysis.group_of[user] != src:
-                fwd[src].add(analysis.group_of[user])
-                rev[analysis.group_of[user]].add(src)
-
-    visited: set[int] = set()
-    finish_order: list[int] = []
-    for start in range(num):
-        if start in visited:
-            continue
-        stack = [(start, iter(fwd[start]))]
-        visited.add(start)
-        while stack:
-            current, children = stack[-1]
-            advanced = False
-            for child in children:
-                if child not in visited:
-                    visited.add(child)
-                    stack.append((child, iter(fwd[child])))
-                    advanced = True
-                    break
-            if not advanced:
-                finish_order.append(current)
-                stack.pop()
-
-    assigned: set[int] = set()
-    sccs: list[list[int]] = []
-    for start in reversed(finish_order):
-        if start in assigned:
-            continue
-        component = [start]
-        assigned.add(start)
-        queue = [start]
-        while queue:
-            current = queue.pop()
-            for prev in rev[current]:
-                if prev not in assigned:
-                    assigned.add(prev)
-                    component.append(prev)
-                    queue.append(prev)
-        sccs.append(sorted(component))
-    return sccs
 
 
 class AStitchCompiler(Compiler):
@@ -122,249 +58,14 @@ class AStitchCompiler(Compiler):
         return (self.config.tune and self.config.adaptive_thread_mapping
                 and self.config.exhaustive_stitching)
 
-    def compile(self, graph: Graph, spec: GPUSpec = V100) -> CompiledModule:
-        if self.config.exhaustive_stitching:
-            kernels: list[Kernel] = []
-            scopes = identify_stitch_scopes(
-                graph, remote_stitching=self.config.remote_stitching)
-            for scope in scopes:
-                kernels.extend(self._compile_scope(graph, scope, spec))
-        else:
-            kernels = self._atm_kernels(graph, spec)
-
-        library_nodes = list(graph.compute_intensive_nodes())
-        steps = order_steps(graph, kernels, library_nodes)
-        steps = list(framework_memcpys(graph, kernels,
-                                       len(library_nodes))) + steps
+    def build_pipeline(self) -> Pipeline:
         tag = (f"tune:{self.config.tuning_tag()}"
                if self._tuning_enabled else "")
-        return CompiledModule(
-            graph, steps, self.name,
-            compile_seconds=len(graph) * ASTITCH_COMPILE_SECONDS_PER_NODE,
+        finalize = FinalizeModulePass(
+            self.name,
+            seconds_per_node=ASTITCH_COMPILE_SECONDS_PER_NODE,
             codegen_tag=tag)
-
-    # -- ATM ablation: adaptive mapping on XLA's fusion scopes ------------------
-
-    def _atm_kernels(self, graph: Graph, spec: GPUSpec) -> list[Kernel]:
-        def adaptive_mapping_for(root: Node):
-            if root.kind is OpKind.REDUCE:
-                rows, width = mappings.reduce_geometry(
-                    root.operands[0].shape, root.reduce_axes)
-                if root.is_row_reduce():
-                    return mappings.adaptive_row_reduce(rows, width, spec)
-                return mappings.adaptive_column_reduce(rows, width, spec)
-            return mappings.adaptive_elementwise(
-                max(1, root.num_elements), spec)
-
-        kernels = []
-        for component in patterns.memory_intensive_components(graph):
-            roots = xla_fusion_roots(graph, component)
-            kernels.extend(build_root_kernels(graph, component, roots,
-                                              adaptive_mapping_for))
-        return kernels
-
-    # -- full stitching ------------------------------------------------------------
-
-    def _compile_scope(self, graph: Graph, scope: StitchScope,
-                       spec: GPUSpec) -> list[Kernel]:
-        cfg = self.config
-        analysis = analyze_scope(graph, scope.nodes,
-                                 dominant_merging=cfg.dominant_merging)
-        needs_barrier = analysis.stages > 1 and cfg.enable_global_scheme
-        launch = unify_launch(analysis.groups, spec,
-                              cfg.adaptive_thread_mapping, needs_barrier,
-                              cfg.max_block_size)
-        if not self._tuning_enabled:
-            return self._lower_scope(graph, scope, spec, analysis, launch)
-
-        tuned_launch, verdict_key, cache = self._tuned_launch(
-            analysis, spec, needs_barrier)
-        if tuned_launch is None or (
-                tuned_launch.group_mappings == launch.group_mappings
-                and tuned_launch.grid_size == launch.grid_size
-                and tuned_launch.block_size == launch.block_size):
-            # The search confirmed the heuristic — one lowering, no
-            # double work (the warm-cache compile-time bound).
-            return self._lower_scope(graph, scope, spec, analysis, launch)
-
-        # A previous compile already ran the lowered comparison for
-        # this exact scope signature: reuse its verdict and lower once.
-        verdict = cache.get(verdict_key)
-        if verdict == "heuristic":
-            return self._lower_scope(graph, scope, spec, analysis, launch)
-        if verdict == "tuned":
-            return self._lower_scope(graph, scope, spec, analysis,
-                                     tuned_launch)
-
-        # Best-of-scope guard: the tuner ranks proxy kernels; the final
-        # unified launch (widest-operator provisioning, memory planning,
-        # assume-relax-apply) can shift the balance, so compare the two
-        # *lowered* scopes under the engine's own per-kernel accounting
-        # and keep the cheaper one.  Tuning therefore never regresses
-        # modeled latency, whatever the proxy missed.
-        heuristic_kernels = self._lower_scope(graph, scope, spec,
-                                              analysis, launch)
-        tuned_kernels = self._lower_scope(graph, scope, spec, analysis,
-                                          tuned_launch)
-        tuned_wins = self._scope_cost(tuned_kernels, spec) \
-            <= self._scope_cost(heuristic_kernels, spec)
-        cache.put(verdict_key, "tuned" if tuned_wins else "heuristic")
-        return tuned_kernels if tuned_wins else heuristic_kernels
-
-    def _tuned_launch(self, analysis: ScopeAnalysis, spec: GPUSpec,
-                      needs_barrier: bool):
-        """Autotune the scope's groups and unify the winning mappings.
-
-        Returns the tuned launch, the scope's verdict-cache key and the
-        tuning cache itself (the caller stores the lowered best-of
-        verdict under that key so warm compiles lower each scope once).
-        """
-        from repro.runtime.compile_service import default_service
-        from repro.tuning import GroupTuner, signature_for_group
-        cfg = self.config
-        tuner = GroupTuner(spec, service=default_service())
-        sigs = [signature_for_group(group, needs_barrier,
-                                    cfg.max_block_size)
-                for group in analysis.groups]
-        decisions = tuner.tune_signatures(sigs,
-                                          config_tag=cfg.tuning_tag())
-        if all(decision.mapping == decision.heuristic_mapping
-               for decision in decisions):
-            # Every group keeps its heuristic: the override unification
-            # would reproduce the caller's launch bit for bit.
-            return None, None, tuner.cache
-        overrides = {group.group_id: decision.mapping
-                     for group, decision in zip(analysis.groups,
-                                                decisions)}
-        tuned = unify_launch(analysis.groups, spec, True, needs_barrier,
-                             cfg.max_block_size, overrides=overrides)
-        return tuned, tuner.scope_key(sigs, cfg.tuning_tag()), tuner.cache
-
-    @staticmethod
-    def _scope_cost(kernels: list[Kernel], spec: GPUSpec) -> float:
-        """Modeled wall time of a scope's kernels as the engine sees it.
-
-        Per kernel: duration, the visible part of its launch latency,
-        and the dispatch cost — plus the kernel-dependent memcpy
-        activities (a splitting mapping's atomics need a memset; the
-        graph-level h2d/d2h staging is identical for every variant, so
-        it cancels out of the comparison and is not priced here).
-        """
-        from repro.codegen.builder import kernel_cost_inputs
-        from repro.compilers.base import kernel_memcpys
-        from repro.gpu.costmodel import cost_model_for
-        from repro.runtime import engine
-        model = cost_model_for(spec)
-        priced = model.price_batch([kernel_cost_inputs(k) for k in kernels])
-        launch = spec.kernel_launch_latency
-        total = sum(c.duration
-                    + max(engine.LAUNCH_FLOOR, launch - c.duration)
-                    + engine.COMPILED_DISPATCH_LATENCY
-                    for c in priced)
-        for call in kernel_memcpys(kernels):
-            total += spec.memcpy_latency \
-                + call.nbytes / (spec.dram_bandwidth / 4)
-        return total
-
-    def _lower_scope(self, graph: Graph, scope: StitchScope, spec: GPUSpec,
-                     analysis: ScopeAnalysis, launch) -> list[Kernel]:
-        cfg = self.config
-        schemes = assign_schemes(graph, analysis, launch.group_mappings,
-                                 scope.node_set,
-                                 allow_global=cfg.enable_global_scheme)
-
-        wants_global = any(s is StitchScheme.GLOBAL
-                           for s in schemes.values())
-        if not cfg.enable_global_scheme and wants_global \
-                and len(analysis.groups) > 1:
-            return self._per_group_kernels(graph, scope, analysis, launch,
-                                           schemes, spec)
-
-        reduce_groups = sum(1 for g in analysis.groups
-                            if g.dominant.kind is OpKind.REDUCE)
-        plan = plan_memory(graph, schemes, launch.grid_size,
-                           launch.block_size, spec, analysis.group_of,
-                           analysis.group_stage, reduce_groups)
-        launch_cfg = configure_launch(spec, launch.block_size,
-                                      plan.smem_per_block)
-
-        grid = launch.grid_size
-        has_global_values = any(s is StitchScheme.GLOBAL
-                                for s in plan.schemes.values())
-        barriers = 0
-        if has_global_values:
-            # Consumers of a global-scheme value may live in other blocks;
-            # each group-DAG stage boundary needs one device-wide barrier
-            # (at least one even for a single stage, to publish atomics).
-            barriers = max(1, analysis.stages - 1)
-            grid = min(grid, launch_cfg.blocks_per_wave)
-
-        placements = {
-            node: scheme.memory_space
-            for node, scheme in plan.schemes.items()
-            if scheme in (StitchScheme.REGIONAL, StitchScheme.GLOBAL)
-        }
-        redundancy = {n: f for n, f in analysis.duplication.items()
-                      if f > 1.0}
-        read_factors = {op: float(g)
-                        for op, g in analysis.input_read_groups.items()
-                        if g > 1}
-
-        unified = launch.as_mapping()
-        mapping = type(unified)(unified.kind, grid, unified.block_size)
-        kernel = make_kernel(
-            graph, scope.nodes, mapping,
-            name=f"stitch_{scope.scope_id}",
-            placements=placements,
-            redundancy=redundancy,
-            num_global_barriers=barriers,
-        )
-        kernel.input_read_factors = read_factors
-        kernel.regs_per_thread = launch_cfg.register_bound
-        kernel.smem_per_block = plan.smem_per_block
-        kernel.extra_atomic_rounds = sum(
-            1 for m in launch.group_mappings.values() if m.uses_atomics)
-        return [kernel]
-
-    def _per_group_kernels(self, graph: Graph, scope: StitchScope,
-                           analysis: ScopeAnalysis, launch, schemes,
-                           spec: GPUSpec) -> list[Kernel]:
-        """Regional-only fallback: one kernel per schedule group.
-
-        Cross-group values travel through global memory *between* kernels
-        (ordinary kernel outputs/inputs) instead of through an in-kernel
-        global scheme — the FusionStitching-style predecessor design.
-        Groups whose dependencies form a cycle cannot be separate kernels,
-        so each strongly-connected component of the group DAG becomes one
-        kernel.
-        """
-        components = _group_sccs(graph, scope.node_set, analysis)
-        kernels = []
-        for idx, group_ids in enumerate(components):
-            nodes: set[Node] = set()
-            for gid in group_ids:
-                nodes |= set(analysis.groups[gid].nodes)
-            mapping = max(
-                (launch.group_mappings[gid] for gid in group_ids),
-                key=lambda m: m.grid_size * m.block_size)
-            component_schemes = {
-                node: scheme for node, scheme in schemes.items()
-                if node in nodes and scheme is StitchScheme.REGIONAL
-            }
-            reduce_groups = sum(
-                1 for gid in group_ids
-                if analysis.groups[gid].dominant.kind is OpKind.REDUCE)
-            plan = plan_memory(graph, component_schemes, mapping.grid_size,
-                               mapping.block_size, spec,
-                               analysis.group_of, analysis.group_stage,
-                               reduce_groups=reduce_groups)
-            placements = {node: scheme.memory_space
-                          for node, scheme in plan.schemes.items()}
-            kernel = make_kernel(
-                graph, sorted(nodes, key=lambda n: n.node_id), mapping,
-                name=f"stitch_{scope.scope_id}_c{idx}",
-                placements=placements,
-            )
-            kernel.smem_per_block = plan.smem_per_block
-            kernels.append(kernel)
-        return kernels
+        return Pipeline(
+            name=self.name.lower(),
+            passes=(*stitching_passes(self.config, self._tuning_enabled),
+                    *standard_tail(finalize)))

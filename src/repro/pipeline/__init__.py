@@ -1,0 +1,64 @@
+"""Instrumented pass-pipeline architecture (the Sec 4 phases as objects).
+
+Public surface:
+
+* :mod:`repro.pipeline.base` — :class:`Pass`, :class:`GraphPass`,
+  :class:`CompileState`, :class:`PassReport`, :class:`Pipeline` and the
+  pass registry;
+* :mod:`repro.pipeline.manager` — :class:`PassManager` /
+  :class:`PipelineRun`, the instrumented runner;
+* :mod:`repro.pipeline.verify` — :func:`verify_graph` /
+  :func:`check_graph`, the inter-pass IR invariant checker;
+* :mod:`repro.pipeline.lowering` — the shared formation/lowering passes
+  every compiler composes (importing it registers them).
+"""
+
+from repro.pipeline.base import (
+    CompileState,
+    GraphPass,
+    Pass,
+    PassReport,
+    Pipeline,
+    get_pass,
+    register_pass,
+    registered_passes,
+)
+from repro.pipeline.lowering import (
+    FinalizeModulePass,
+    FixpointSimplificationPass,
+    FusionKernelFormationPass,
+    LibraryDispatchPass,
+    MemcpyPlanningPass,
+    SIMPLIFICATION_PASSES,
+    StepSchedulingPass,
+    naive_mapping_factory,
+    optimized_pipeline,
+    standard_tail,
+)
+from repro.pipeline.manager import PassManager, PipelineRun
+from repro.pipeline.verify import check_graph, verify_graph
+
+__all__ = [
+    "CompileState",
+    "FinalizeModulePass",
+    "FixpointSimplificationPass",
+    "FusionKernelFormationPass",
+    "GraphPass",
+    "LibraryDispatchPass",
+    "MemcpyPlanningPass",
+    "Pass",
+    "PassManager",
+    "PassReport",
+    "Pipeline",
+    "PipelineRun",
+    "SIMPLIFICATION_PASSES",
+    "StepSchedulingPass",
+    "check_graph",
+    "get_pass",
+    "naive_mapping_factory",
+    "optimized_pipeline",
+    "register_pass",
+    "registered_passes",
+    "standard_tail",
+    "verify_graph",
+]

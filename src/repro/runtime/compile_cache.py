@@ -34,8 +34,10 @@ from typing import Optional
 from repro.compilers.base import CompiledModule, Compiler
 
 # Bump on any change to the pickle payload layout or key composition;
-# invalidates every persisted entry at once.
-CACHE_FORMAT_VERSION = 1
+# invalidates every persisted entry at once.  v2: keys carry the
+# compiler's pipeline fingerprint, so recomposing a pass pipeline
+# invalidates its cached artifacts instead of aliasing them.
+CACHE_FORMAT_VERSION = 2
 
 # Default in-memory capacity: compiled modules are a few MB of Python
 # objects at most; hundreds fit comfortably.
@@ -76,17 +78,23 @@ class CacheKey:
         optimize: Whether the retained simplification pipeline ran
             before kernel formation (``compile_optimized`` vs
             ``compile``).
+        pipeline: The compiler's pipeline-composition fingerprint
+            (:meth:`~repro.compilers.base.Compiler.pipeline_fingerprint`,
+            "" for compilers without a declared pipeline) — reordering
+            or reconfiguring a pass re-keys every artifact it produced.
     """
 
     compiler: str
     graph: str
     spec: str
     optimize: bool
+    pipeline: str = ""
 
     def digest(self) -> str:
         """Stable hex digest — the persistent tier's file name."""
         text = "|".join([f"v{CACHE_FORMAT_VERSION}", self.compiler,
-                         self.graph, self.spec, str(self.optimize)])
+                         self.graph, self.spec, str(self.optimize),
+                         self.pipeline])
         return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 

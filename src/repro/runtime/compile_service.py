@@ -59,12 +59,19 @@ class ServiceStats:
         coalesced: Requests attached to an already in-flight
             compilation of the same key (single-flight dedup).
         failed: Compilations that raised.
+        pass_seconds: Cumulative wall time per pipeline pass across
+            every cold compilation this service ran (pass name ->
+            seconds); empty until a pipeline compiler compiles cold.
+        pass_runs: Executions per pipeline pass, same keys.
     """
 
     requests: int = 0
     compiled: int = 0
     coalesced: int = 0
     failed: int = 0
+    pass_seconds: dict[str, float] = dataclasses.field(
+        default_factory=dict)
+    pass_runs: dict[str, int] = dataclasses.field(default_factory=dict)
 
 
 @dataclasses.dataclass
@@ -115,7 +122,8 @@ class CompileService:
         """The cache key a request addresses."""
         return CacheKey(compiler=compiler_fingerprint(compiler),
                         graph=graph_fingerprint(graph),
-                        spec=spec.name, optimize=optimize)
+                        spec=spec.name, optimize=optimize,
+                        pipeline=compiler.pipeline_fingerprint(optimize))
 
     def submit(self, graph: Graph, compiler: Compiler,
                spec: GPUSpec = V100, *,
@@ -167,8 +175,21 @@ class CompileService:
             module = compiler.compile_optimized(graph, spec)
         else:
             module = compiler.compile(graph, spec)
+        self._record_pass_reports(module)
         self.cache.put(key, module)
         return module
+
+    def _record_pass_reports(self, module: CompiledModule) -> None:
+        reports = getattr(module, "pass_reports", None)
+        if not reports:
+            return
+        with self._lock:
+            for report in reports:
+                self.stats.pass_seconds[report.pass_name] = \
+                    self.stats.pass_seconds.get(report.pass_name, 0.0) \
+                    + report.seconds
+                self.stats.pass_runs[report.pass_name] = \
+                    self.stats.pass_runs.get(report.pass_name, 0) + 1
 
     def _finish(self, key: CacheKey,
                 future: concurrent.futures.Future) -> None:

@@ -172,12 +172,19 @@ class PlanKey:
             the signature; memoized per graph).
         spec: Device spec, by value — any field change is a miss.
         config: Engine configuration, by value.
+        pipeline: The pipeline-composition fingerprint the module was
+            compiled under ("" for modules from non-pipeline compilers).
+            The pricing signature already covers everything the plan
+            *reads*; this field additionally re-keys plans when the pass
+            composition changes, mirroring the compile cache, so a
+            recomposed pipeline can never serve a stale priced timeline.
     """
 
     module: str
     graph: str
     spec: GPUSpec
     config: EngineConfig
+    pipeline: str = ""
 
     def digest(self) -> str:
         """Stable hex digest — the persistent tier's file name."""
@@ -185,6 +192,7 @@ class PlanKey:
             f"plan-v{PLAN_FORMAT_VERSION}", self.module, self.graph,
             repr(dataclasses.astuple(self.spec)),
             repr(dataclasses.astuple(self.config)),
+            self.pipeline,
         ])
         return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
@@ -194,7 +202,8 @@ def plan_key(module: CompiledModule, spec: GPUSpec,
     """The cache key pricing ``module`` on ``spec`` under ``config``."""
     return PlanKey(module=module_pricing_signature(module),
                    graph=graph_fingerprint(module.graph),
-                   spec=spec, config=config)
+                   spec=spec, config=config,
+                   pipeline=getattr(module, "pipeline_fingerprint", ""))
 
 
 @dataclasses.dataclass

@@ -131,6 +131,26 @@ class Session:
                 cached = self._profiles.setdefault(key, fresh)
         return cached
 
+    def pass_reports(self, graph: Graph):
+        """Per-pass instrumentation of ``graph``'s compilation.
+
+        One :class:`~repro.pipeline.base.PassReport` per pipeline pass,
+        in execution order (compiling on first use).  Empty for
+        compilers without a declared pipeline.  Reports ride the module
+        itself, so a module served from the compile cache still carries
+        the timing of the compilation that produced it.
+        """
+        module = self.module(graph)
+        return tuple(getattr(module, "pass_reports", ()) or ())
+
+    def pass_timing(self, graph: Graph) -> dict[str, float]:
+        """Pass name -> wall seconds for ``graph``'s compilation."""
+        timing: dict[str, float] = {}
+        for report in self.pass_reports(graph):
+            timing[report.pass_name] = \
+                timing.get(report.pass_name, 0.0) + report.seconds
+        return timing
+
     @property
     def compile_seconds(self) -> float:
         """Total modeled JIT time this session's modules embody."""

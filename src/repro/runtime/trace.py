@@ -77,6 +77,60 @@ def write_chrome_trace(profile: Profile, path: str) -> None:
         json.dump(profile_to_chrome_trace(profile), handle, indent=1)
 
 
+def pass_reports_to_chrome_trace(reports, *,
+                                 pipeline: str = "") -> dict[str, Any]:
+    """Trace one compilation's pass pipeline on the host track.
+
+    Args:
+        reports: :class:`~repro.pipeline.base.PassReport` sequence (from
+            ``module.pass_reports`` / ``Session.pass_reports``).
+        pipeline: Display name or fingerprint for the trace metadata.
+
+    Passes are laid out sequentially (the manager runs them that way);
+    each event carries the pass kind and the IR node / kernel / step
+    deltas plus the pass's own counters as args.
+    """
+    events = []
+    cursor_us = 0.0
+    for report in reports:
+        duration_us = report.seconds * 1e6
+        events.append({
+            "name": report.pass_name,
+            "cat": f"pass:{report.kind}",
+            "ph": "X",
+            "ts": cursor_us,
+            "dur": duration_us,
+            "pid": 0,
+            "tid": _HOST_TRACK,
+            "args": {
+                "nodes": f"{report.nodes_before}->{report.nodes_after}",
+                "kernels": f"{report.kernels_before}->"
+                           f"{report.kernels_after}",
+                "steps": f"{report.steps_before}->{report.steps_after}",
+                **{f"detail.{k}": v for k, v in report.detail.items()},
+            },
+        })
+        cursor_us += duration_us
+    total = sum(report.seconds for report in reports)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ns",
+        "otherData": {
+            "pipeline": pipeline,
+            "passes": len(events),
+            "compile_ms": round(total * 1e3, 4),
+        },
+    }
+
+
+def write_pass_trace(reports, path: str, *, pipeline: str = "") -> None:
+    """Serialize a pass-pipeline trace to a chrome://tracing JSON file."""
+    with open(path, "w") as handle:
+        json.dump(pass_reports_to_chrome_trace(reports,
+                                               pipeline=pipeline),
+                  handle, indent=1)
+
+
 def timeline_to_chrome_trace(result) -> dict[str, Any]:
     """Trace a multi-stream :class:`~repro.runtime.timeline.
     TimelineResult` with one track per stream (copy engine on its own)."""

@@ -1,0 +1,97 @@
+"""Byte-identity of the pass-pipeline refactor against golden modules.
+
+``tests/data/pipeline_golden.json`` was captured from the pre-pipeline
+compilers: for every registry workload x every compiler (plain and
+optimized), the module's plan-cache pricing signature and its ordered
+step list.  The pipeline refactor's non-negotiable invariant is that
+every compiler still produces exactly these modules — same signature,
+same steps in the same order.
+
+Regenerate the golden file only when a *deliberate* codegen change
+lands (and say so in the commit):
+
+    PYTHONPATH=src python - <<'PY'
+    import json
+    from repro.cli import COMPILERS
+    from repro.gpu.spec import V100
+    from repro.runtime.plan import module_pricing_signature
+    from repro.workloads import WORKLOADS, build
+    golden = {}
+    for wname in sorted(WORKLOADS):
+        graph = build(wname)
+        for cname, cls in COMPILERS.items():
+            for opt in (False, True):
+                key = f"{wname}|{cname}" + ("|opt" if opt else "")
+                compiler = cls()
+                module = (compiler.compile_optimized(graph, V100)
+                          if opt else compiler.compile(graph, V100))
+                golden[key] = {
+                    "pricing_signature":
+                        module_pricing_signature(module),
+                    "steps": [f"{type(s).__name__}:{s.name}"
+                              for s in module.steps],
+                }
+    with open("tests/data/pipeline_golden.json", "w") as fh:
+        json.dump(golden, fh, indent=1, sort_keys=True)
+    PY
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.cli import COMPILERS
+from repro.gpu.spec import V100
+from repro.runtime.plan import module_pricing_signature
+from repro.workloads import WORKLOADS, build
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "data" \
+    / "pipeline_golden.json"
+GOLDEN = json.loads(GOLDEN_PATH.read_text())
+
+
+def _capture(module) -> dict:
+    return {
+        "pricing_signature": module_pricing_signature(module),
+        "steps": [f"{type(s).__name__}:{s.name}"
+                  for s in module.steps],
+    }
+
+
+def test_golden_file_covers_every_pair():
+    expected = {f"{w}|{c}{suffix}"
+                for w in WORKLOADS for c in COMPILERS
+                for suffix in ("", "|opt")}
+    assert set(GOLDEN) == expected
+
+
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+def test_modules_match_golden(workload):
+    """Every compiler's module on ``workload`` is byte-identical to the
+    pre-refactor capture, plain and optimized."""
+    graph = build(workload)
+    for cname, compiler_cls in COMPILERS.items():
+        for optimize in (False, True):
+            key = f"{workload}|{cname}" + ("|opt" if optimize else "")
+            compiler = compiler_cls()
+            module = (compiler.compile_optimized(graph, V100)
+                      if optimize else compiler.compile(graph, V100))
+            got = _capture(module)
+            expected = GOLDEN[key]
+            assert got["pricing_signature"] \
+                == expected["pricing_signature"], \
+                f"{key}: pricing signature diverged"
+            assert got["steps"] == expected["steps"], \
+                f"{key}: step list diverged"
+
+
+def test_validation_does_not_change_output():
+    """Inter-pass IR validation is a debugging aid: a validated run
+    must produce the very module the plain run does."""
+    graph = build("CRNN")
+    compiler = COMPILERS["XLA"]()
+    run = compiler.run_pipeline(graph, V100, validate=True)
+    assert _capture(run.module) == GOLDEN["CRNN|XLA"]
